@@ -1,0 +1,55 @@
+"""Figure 11 — ISS-PBFT latency/throughput with Byzantine stragglers.
+
+Paper result: with 1 straggler ISS-PBFT drops to ~15% of its maximum
+throughput, with 10 stragglers to ~10% (still >7.9 kreq/s at 32 nodes); mean
+latency before saturation grows 14x–29x.  The shape reproduced here: each
+additional straggler reduces throughput and inflates latency, with the first
+straggler causing the dominant drop.
+"""
+
+import pytest
+
+from repro.harness import scenarios
+from repro.metrics.report import format_table, print_banner
+
+from conftest import run_scenario, scaled_duration
+
+
+def test_fig11_straggler_sweep(benchmark):
+    rows = run_scenario(
+        benchmark,
+        lambda: scenarios.straggler_sweep(
+            num_nodes=7,
+            straggler_counts=(0, 1, 2),
+            rate=400.0,
+            duration=scaled_duration(25.0),
+            straggler_delay=2.5,
+        ),
+        "fig11",
+    )
+    print_banner("Figure 11: ISS-PBFT under Byzantine stragglers (Blacklist)")
+    print(
+        format_table(
+            ["stragglers", "throughput (req/s)", "mean latency (s)", "p95 latency (s)"],
+            [
+                [r["stragglers"], f"{r['throughput']:.0f}", f"{r['latency_mean']:.2f}", f"{r['latency_p95']:.2f}"]
+                for r in rows
+            ],
+        )
+    )
+    clean = rows[0]
+    one = rows[1]
+    two = rows[2]
+    # One straggler slashes throughput to a fraction of the maximum (the paper
+    # reports ~15% of max; the scaled-down deployment has more spare epoch
+    # capacity relative to the offered load, so the drop is milder but the
+    # direction and the latency blow-up are preserved)...
+    assert one["throughput"] < 0.75 * clean["throughput"]
+    # ...but the system keeps delivering (paper: 10-15% of max, still kreq/s).
+    assert one["throughput"] > 0
+    assert two["throughput"] > 0
+    # Latency inflates by an order of magnitude.
+    assert one["latency_mean"] > 4 * clean["latency_mean"]
+    # More stragglers never help.
+    assert two["throughput"] <= one["throughput"] * 1.1
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,115 @@
+"""Figure 5 — peak throughput vs number of nodes.
+
+Paper result: at 128 nodes ISS improves peak throughput of PBFT, HotStuff and
+Raft by 37x, 56x and 55x respectively; single-leader throughput decays
+roughly as 1/n while ISS stays flat or grows; ISS-PBFT also outperforms
+Mir-BFT slightly.
+
+This benchmark reproduces the *shape* at simulation scale (see
+EXPERIMENTS.md): single-leader peak throughput falls as nodes are added, the
+ISS variants sustain their throughput, and the ISS/single-leader improvement
+factor grows with the node count.
+"""
+
+import pytest
+
+from repro.core.config import PROTOCOL_HOTSTUFF, PROTOCOL_PBFT, PROTOCOL_RAFT
+from repro.harness import scenarios
+from repro.metrics.report import format_table, print_banner, speedup
+
+from conftest import run_scenario, scaled_duration, scaled_nodes
+
+#: Offered loads swept per point; the peak before saturation is reported.
+OFFERED_LOADS = (800.0, 1600.0)
+
+
+def _print_rows(rows):
+    print_banner("Figure 5: peak throughput (req/s) vs number of nodes")
+    print(
+        format_table(
+            ["system", "protocol", "nodes", "peak tput (req/s)", "offered (req/s)", "latency at peak (s)"],
+            [
+                [r["system"], r["protocol"], r["nodes"], f"{r['peak_throughput']:.0f}",
+                 f"{r['at_offered_load']:.0f}", f"{r['latency_at_peak']:.2f}"]
+                for r in rows
+            ],
+        )
+    )
+
+
+def _improvement(rows, protocol, nodes):
+    iss = next(r for r in rows if r["system"] == "iss" and r["protocol"] == protocol and r["nodes"] == nodes)
+    single = next(r for r in rows if r["system"] == "single" and r["protocol"] == protocol and r["nodes"] == nodes)
+    return speedup(iss["peak_throughput"], single["peak_throughput"])
+
+
+def test_fig5_pbft_scalability(benchmark):
+    nodes = scaled_nodes((4, 8, 16))
+    rows = run_scenario(
+        benchmark,
+        lambda: scenarios.scalability_sweep(
+            node_counts=nodes,
+            protocols=(PROTOCOL_PBFT,),
+            offered_loads=OFFERED_LOADS,
+            duration=scaled_duration(5.0),
+            include_mirbft=True,
+        ),
+        "fig5-pbft",
+    )
+    _print_rows(rows)
+    largest = max(nodes)
+    smallest = min(nodes)
+    factor_large = _improvement(rows, PROTOCOL_PBFT, largest)
+    factor_small = _improvement(rows, PROTOCOL_PBFT, smallest)
+    print(f"\nISS-PBFT / PBFT improvement: {factor_small:.1f}x at n={smallest}, "
+          f"{factor_large:.1f}x at n={largest} (paper: 37x at n=128)")
+    benchmark.extra_info["improvement_at_largest_n"] = factor_large
+
+    singles = {r["nodes"]: r["peak_throughput"] for r in rows if r["system"] == "single"}
+    iss = {r["nodes"]: r["peak_throughput"] for r in rows if r["system"] == "iss"}
+    # Shape assertions: the single leader decays with n, ISS does not, and the
+    # improvement factor grows with the node count.
+    assert singles[largest] < singles[smallest]
+    assert iss[largest] > 0.7 * iss[smallest]
+    assert factor_large > factor_small
+    assert factor_large > 1.5
+
+
+def test_fig5_hotstuff_scalability(benchmark):
+    nodes = scaled_nodes((4, 8))
+    rows = run_scenario(
+        benchmark,
+        lambda: scenarios.scalability_sweep(
+            node_counts=nodes,
+            protocols=(PROTOCOL_HOTSTUFF,),
+            offered_loads=OFFERED_LOADS,
+            duration=scaled_duration(5.0),
+            include_mirbft=False,
+        ),
+        "fig5-hotstuff",
+    )
+    _print_rows(rows)
+    largest = max(nodes)
+    factor = _improvement(rows, PROTOCOL_HOTSTUFF, largest)
+    print(f"\nISS-HotStuff / HotStuff improvement at n={largest}: {factor:.1f}x (paper: 56x at n=128)")
+    assert factor > 1.0
+
+
+def test_fig5_raft_scalability(benchmark):
+    nodes = scaled_nodes((4, 8))
+    rows = run_scenario(
+        benchmark,
+        lambda: scenarios.scalability_sweep(
+            node_counts=nodes,
+            protocols=(PROTOCOL_RAFT,),
+            offered_loads=OFFERED_LOADS,
+            duration=scaled_duration(5.0),
+            include_mirbft=False,
+        ),
+        "fig5-raft",
+    )
+    _print_rows(rows)
+    largest = max(nodes)
+    factor = _improvement(rows, PROTOCOL_RAFT, largest)
+    print(f"\nISS-Raft / Raft improvement at n={largest}: {factor:.1f}x (paper: 55x at n=128)")
+    assert factor > 1.0

@@ -1,0 +1,74 @@
+"""Figure 6 — end-to-end latency over throughput for increasing load.
+
+Paper result (per protocol, 4–128 nodes): latency stays low until the offered
+load approaches the saturation throughput, then rises sharply; the
+single-leader variants saturate at much lower throughput than their ISS
+counterparts as the node count grows.
+"""
+
+import pytest
+
+from repro.core.config import PROTOCOL_PBFT
+from repro.harness import scenarios
+from repro.metrics.report import format_table, print_banner
+
+from conftest import run_scenario, scaled_duration, scaled_nodes
+
+LOADS = (200.0, 600.0, 1200.0, 1800.0)
+
+
+def _print(rows, title):
+    print_banner(title)
+    print(
+        format_table(
+            ["system", "nodes", "offered (req/s)", "throughput (req/s)", "mean latency (s)", "p95 latency (s)"],
+            [
+                [r["system"], r["nodes"], f"{r['offered_load']:.0f}", f"{r['throughput']:.0f}",
+                 f"{r['latency_mean']:.2f}", f"{r['latency_p95']:.2f}"]
+                for r in rows
+            ],
+        )
+    )
+
+
+def test_fig6_iss_pbft_latency_vs_throughput(benchmark):
+    node_counts = scaled_nodes((4, 8))
+
+    def scenario():
+        rows = []
+        for n in node_counts:
+            rows.extend(
+                scenarios.latency_throughput_sweep(
+                    PROTOCOL_PBFT, n, LOADS, duration=scaled_duration(4.0)
+                )
+            )
+        return rows
+
+    rows = run_scenario(benchmark, scenario, "fig6-iss-pbft")
+    _print(rows, "Figure 6(a): ISS-PBFT latency over throughput")
+    for n in node_counts:
+        curve = [r for r in rows if r["nodes"] == n]
+        # Throughput increases with offered load until saturation...
+        assert curve[-1]["throughput"] >= curve[0]["throughput"]
+        # ...and latency under light load is lower than at the heaviest load.
+        assert curve[0]["latency_mean"] <= curve[-1]["latency_mean"] * 1.5
+
+
+def test_fig6_single_leader_pbft_saturates_earlier(benchmark):
+    n = scaled_nodes((8,))[0]
+
+    def scenario():
+        iss_rows = scenarios.latency_throughput_sweep(PROTOCOL_PBFT, n, LOADS, duration=scaled_duration(4.0))
+        single_rows = scenarios.latency_throughput_sweep(
+            PROTOCOL_PBFT, n, LOADS, duration=scaled_duration(4.0), single_leader=True
+        )
+        return {"iss": iss_rows, "single": single_rows}
+
+    result = run_scenario(benchmark, scenario, "fig6-single-vs-iss")
+    _print(result["iss"] + result["single"], f"Figure 6: ISS vs single-leader PBFT at n={n}")
+    iss_peak = max(r["throughput"] for r in result["iss"])
+    single_peak = max(r["throughput"] for r in result["single"])
+    assert single_peak < iss_peak
+    # At the highest offered load the single leader is saturated: its latency
+    # exceeds the ISS latency at the same offered load.
+    assert result["single"][-1]["latency_mean"] > result["iss"][-1]["latency_mean"]

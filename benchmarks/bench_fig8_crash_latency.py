@@ -1,0 +1,70 @@
+"""Figure 8 — latency vs experiment duration under crash faults (BLACKLIST).
+
+Paper result: mean and tail latency converge towards the fault-free values as
+the experiment duration grows (the BLACKLIST policy removes the crashed
+leader once detected, so the one-off penalty is amortised); epoch-end crashes
+have a stronger impact than epoch-start crashes.
+"""
+
+import pytest
+
+from repro.harness import scenarios
+from repro.metrics.report import format_table, print_banner
+
+from conftest import run_scenario, scaled_duration
+
+
+def test_fig8_crash_latency_over_duration(benchmark):
+    durations = [scaled_duration(d) for d in (15.0, 30.0)]
+
+    def scenario():
+        rows = []
+        rows.extend(
+            scenarios.crash_latency_over_duration(
+                num_nodes=4, rate=400.0, durations=durations, fault_counts=(0, 1),
+                crash_kind="epoch-start",
+            )
+        )
+        rows.extend(
+            scenarios.crash_latency_over_duration(
+                num_nodes=4, rate=400.0, durations=durations, fault_counts=(1,),
+                crash_kind="epoch-end",
+            )
+        )
+        return rows
+
+    rows = run_scenario(benchmark, scenario, "fig8")
+    print_banner("Figure 8: latency vs experiment duration under crash faults (Blacklist)")
+    print(
+        format_table(
+            ["faults", "crash kind", "duration (s)", "mean latency (s)", "p95 latency (s)"],
+            [
+                [r["faults"], r["crash"], f"{r['duration']:.0f}", f"{r['latency_mean']:.2f}",
+                 f"{r['latency_p95']:.2f}"]
+                for r in rows
+            ],
+        )
+    )
+
+    def find(faults, crash, duration):
+        return next(
+            r for r in rows if r["faults"] == faults and r["crash"] == crash and r["duration"] == duration
+        )
+
+    short, long = durations
+    fault_free = find(0, "none", long)
+    start_short = find(1, "epoch-start", short)
+    start_long = find(1, "epoch-start", long)
+    end_long = find(1, "epoch-end", long)
+    # Longer experiments amortise the one-off crash penalty (latency converges
+    # towards fault-free), and a crash always costs more than no crash.
+    assert start_long["latency_mean"] <= start_short["latency_mean"] * 1.05
+    assert start_long["latency_mean"] >= fault_free["latency_mean"]
+    assert end_long["latency_mean"] >= fault_free["latency_mean"]
+    # Note on the epoch-start vs epoch-end ordering: the paper (32 nodes) sees
+    # epoch-end crashes hurt more because they delay the epoch change for
+    # everyone while an epoch-start crash only affects 1/n of the buckets.  At
+    # the scaled-down node count used here, 1/n is large, so the epoch-start
+    # penalty can dominate; EXPERIMENTS.md discusses this scale artefact.  The
+    # mechanics of both fault kinds are asserted separately in Figure 9.
+    benchmark.extra_info["rows"] = rows

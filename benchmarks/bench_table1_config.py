@@ -1,0 +1,64 @@
+"""Table 1 — ISS configuration parameters used in evaluation.
+
+Regenerates the paper's parameter table from :func:`repro.core.config.paper_config`
+and checks the values against the published numbers.
+"""
+
+import pytest
+
+from repro.core.config import paper_config, PROTOCOL_HOTSTUFF, PROTOCOL_PBFT, PROTOCOL_RAFT
+from repro.metrics.report import format_table, print_banner
+
+from conftest import run_scenario
+
+
+#: The rows of Table 1 as published (protocol -> expected values).
+TABLE1_EXPECTED = {
+    PROTOCOL_PBFT: dict(max_batch_size=2048, batch_rate=32.0, min_batch_timeout=0.0,
+                        max_batch_timeout=4.0, epoch_length=256, min_segment_size=2,
+                        epoch_change_timeout=10.0, buckets_per_leader=16, client_signatures=True),
+    PROTOCOL_HOTSTUFF: dict(max_batch_size=4096, batch_rate=None, min_batch_timeout=1.0,
+                            max_batch_timeout=0.0, epoch_length=256, min_segment_size=16,
+                            epoch_change_timeout=10.0, buckets_per_leader=16, client_signatures=True),
+    PROTOCOL_RAFT: dict(max_batch_size=4096, batch_rate=32.0, min_batch_timeout=0.0,
+                        max_batch_timeout=4.0, epoch_length=256, min_segment_size=16,
+                        epoch_change_timeout=10.0, buckets_per_leader=16, client_signatures=False),
+}
+
+
+def build_table():
+    rows = []
+    for protocol in (PROTOCOL_PBFT, PROTOCOL_HOTSTUFF, PROTOCOL_RAFT):
+        config = paper_config(protocol, 32)
+        rows.append(
+            [
+                protocol,
+                config.max_batch_size,
+                config.batch_rate if config.batch_rate is not None else "n/a",
+                config.min_batch_timeout,
+                config.max_batch_timeout,
+                config.epoch_length,
+                config.min_segment_size,
+                config.epoch_change_timeout,
+                config.buckets_per_leader,
+                "ECDSA(sim)" if config.client_signatures else "none",
+            ]
+        )
+    return rows
+
+
+def test_table1_configuration(benchmark):
+    rows = run_scenario(benchmark, build_table, "table1")
+    print_banner("Table 1: ISS configuration parameters used in evaluation")
+    print(
+        format_table(
+            ["protocol", "max batch", "batch rate", "min timeout", "max timeout",
+             "epoch len", "min segment", "epoch-change TO", "buckets/leader", "client sigs"],
+            rows,
+        )
+    )
+    for protocol, expected in TABLE1_EXPECTED.items():
+        config = paper_config(protocol, 32)
+        for field, value in expected.items():
+            assert getattr(config, field) == value, f"{protocol}.{field}"
+    benchmark.extra_info["rows"] = len(rows)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""A blockchain ordering service (Hyperledger-Fabric style) on top of ISS.
+
+The paper motivates ISS as an ordering layer for permissioned blockchains
+(e.g. the ordering service of Hyperledger Fabric).  This example uses the
+totally ordered, batched output of ISS to build a chain of blocks: each
+committed batch becomes a block whose header links to the previous block's
+hash, and every node independently derives the identical chain.
+
+It also demonstrates switching the Sequenced Broadcast implementation: the
+same ordering service runs once over PBFT and once over HotStuff, comparing
+throughput and latency of the two backends.
+
+Run with:  python examples/blockchain_ordering.py
+"""
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import Deployment, ISSConfig, NetworkConfig, WorkloadConfig
+from repro.core.types import is_nil
+
+
+@dataclass
+class Block:
+    """A block in the derived chain: one committed (non-⊥, non-empty) batch."""
+
+    height: int
+    batch_sn: int
+    previous_hash: bytes
+    transactions: int
+    payload_bytes: int
+
+    def header_hash(self) -> bytes:
+        h = hashlib.sha256()
+        h.update(self.height.to_bytes(8, "little"))
+        h.update(self.batch_sn.to_bytes(8, "little"))
+        h.update(self.previous_hash)
+        h.update(self.transactions.to_bytes(4, "little"))
+        h.update(self.payload_bytes.to_bytes(8, "little"))
+        return h.digest()
+
+
+def derive_chain(node) -> List[Block]:
+    """Turn a node's delivered log prefix into a hash-linked chain of blocks."""
+    chain: List[Block] = []
+    previous = hashlib.sha256(b"genesis").digest()
+    for sn in range(node.log.first_undelivered):
+        entry = node.log.entry(sn)
+        if is_nil(entry) or len(entry) == 0:
+            continue  # ⊥ and empty batches produce no block
+        block = Block(
+            height=len(chain),
+            batch_sn=sn,
+            previous_hash=previous,
+            transactions=len(entry),
+            payload_bytes=entry.size_bytes(),
+        )
+        chain.append(block)
+        previous = block.header_hash()
+    return chain
+
+
+def run_ordering_service(protocol: str) -> Dict[str, object]:
+    overrides = dict(
+        epoch_length=16,
+        max_batch_size=32,
+        batch_rate=8.0,
+        max_batch_timeout=0.5,
+        view_change_timeout=5.0,
+        epoch_change_timeout=5.0,
+    )
+    if protocol == "hotstuff":
+        overrides.update(batch_rate=None, min_batch_timeout=0.1, max_batch_timeout=0.0, min_segment_size=4)
+    config = ISSConfig(num_nodes=4, protocol=protocol, **overrides)
+    workload = WorkloadConfig(num_clients=4, total_rate=200.0, duration=8.0, payload_size=500)
+    deployment = Deployment(config, network_config=NetworkConfig(num_datacenters=4), workload=workload)
+    result = deployment.run()
+
+    chains = {node.node_id: derive_chain(node) for node in result.nodes}
+    tip_hashes = {node_id: (chain[-1].header_hash().hex()[:16] if chain else "-")
+                  for node_id, chain in chains.items()}
+    heights = {node_id: len(chain) for node_id, chain in chains.items()}
+    assert len(set(tip_hashes.values())) == 1, "replicas derived different chains!"
+
+    return {
+        "protocol": protocol,
+        "throughput": result.report.throughput,
+        "latency_ms": result.report.latency.mean * 1000,
+        "blocks": heights[0],
+        "tip": tip_hashes[0],
+        "transactions": result.report.completed,
+    }
+
+
+def main() -> None:
+    print("=== Blockchain ordering service on ISS (4 orderer nodes) ===\n")
+    rows = [run_ordering_service("pbft"), run_ordering_service("hotstuff")]
+    print(f"{'backend':10s} {'blocks':>7s} {'txs':>7s} {'tput (tx/s)':>12s} {'latency (ms)':>13s}  chain tip")
+    for row in rows:
+        print(f"{row['protocol']:10s} {row['blocks']:7d} {row['transactions']:7d} "
+              f"{row['throughput']:12.1f} {row['latency_ms']:13.1f}  {row['tip']}")
+    print("\nAll orderer nodes derived identical chains for both backends.")
+
+
+if __name__ == "__main__":
+    main()

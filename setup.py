@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that editable installs work in offline environments whose
+setuptools cannot build PEP 660 wheels (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — reproduction of "State-Machine Replication Scalability Made Simple" (ISS).
+
+The package implements the paper's contribution (the ISS multiplexing
+construction and the Sequenced Broadcast abstraction), the three ordering
+protocols it wraps (PBFT, chained HotStuff, Raft), the reference
+SB-from-consensus construction, the Mir-BFT and single-leader baselines, and
+the simulated WAN substrate plus experiment harness used to reproduce every
+table and figure of the evaluation.
+
+Quick start::
+
+    from repro import Deployment, ISSConfig, WorkloadConfig
+
+    config = ISSConfig(num_nodes=4, protocol="pbft", epoch_length=16)
+    workload = WorkloadConfig(num_clients=4, total_rate=200, duration=10)
+    report = Deployment(config, workload=workload).run().report
+    print(report.throughput, report.latency.mean)
+"""
+
+from .core.config import (
+    ISSConfig,
+    NetworkConfig,
+    WorkloadConfig,
+    paper_config,
+    PROTOCOL_PBFT,
+    PROTOCOL_HOTSTUFF,
+    PROTOCOL_RAFT,
+    PROTOCOL_CONSENSUS,
+    POLICY_SIMPLE,
+    POLICY_BACKOFF,
+    POLICY_BLACKLIST,
+)
+from .core.types import Request, RequestId, Batch, NIL, DeliveredRequest
+from .core.iss import ISSNode
+from .core.client import Client
+from .harness.runner import Deployment, DeploymentResult, run_experiment, find_peak_throughput
+from .metrics.collector import RunReport, LatencySummary, MetricsCollector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ISSConfig",
+    "NetworkConfig",
+    "WorkloadConfig",
+    "paper_config",
+    "PROTOCOL_PBFT",
+    "PROTOCOL_HOTSTUFF",
+    "PROTOCOL_RAFT",
+    "PROTOCOL_CONSENSUS",
+    "POLICY_SIMPLE",
+    "POLICY_BACKOFF",
+    "POLICY_BLACKLIST",
+    "Request",
+    "RequestId",
+    "Batch",
+    "NIL",
+    "DeliveredRequest",
+    "ISSNode",
+    "Client",
+    "Deployment",
+    "DeploymentResult",
+    "run_experiment",
+    "find_peak_throughput",
+    "RunReport",
+    "LatencySummary",
+    "MetricsCollector",
+    "__version__",
+]

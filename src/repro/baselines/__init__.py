@@ -1,0 +1,12 @@
+"""Baselines: single-leader protocol deployments and Mir-BFT."""
+
+from .single_leader import FixedLeaderPolicy, single_leader_config, single_leader_policy
+from .mirbft import MirBFTNode, NewEpochMsg
+
+__all__ = [
+    "FixedLeaderPolicy",
+    "single_leader_config",
+    "single_leader_policy",
+    "MirBFTNode",
+    "NewEpochMsg",
+]

@@ -1,0 +1,16 @@
+"""Reference agreement substrates: BRB, Byzantine consensus, SB-from-consensus."""
+
+from .brb import ReliableBroadcast, BrbSend, BrbEcho, BrbReady
+from .bc import ByzantineConsensus, BOTTOM
+from .sb_consensus import ConsensusSB, SbWrapped
+
+__all__ = [
+    "ReliableBroadcast",
+    "BrbSend",
+    "BrbEcho",
+    "BrbReady",
+    "ByzantineConsensus",
+    "BOTTOM",
+    "ConsensusSB",
+    "SbWrapped",
+]

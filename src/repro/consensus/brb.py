@@ -1,0 +1,151 @@
+"""Byzantine Reliable Broadcast (Bracha's protocol).
+
+Used by the reference SB-from-consensus construction (paper Algorithm 5) and
+by the failure-detector argument in Section 5.1.3.  The implementation is the
+classic three-phase echo protocol:
+
+* the designated sender broadcasts ``SEND(m)``;
+* on the first ``SEND`` from the sender, every node broadcasts ``ECHO(m)``;
+* on ``2f+1`` matching ``ECHO``s (or ``f+1`` matching ``READY``s), a node
+  broadcasts ``READY(m)``;
+* on ``2f+1`` matching ``READY``s, a node brb-delivers ``m``.
+
+Properties (BRB1–BRB6 in the paper) hold with ``n >= 3f+1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
+
+from ..core.types import NodeId
+
+
+@dataclass(frozen=True)
+class BrbSend:
+    """Initial dissemination of the payload by the designated sender."""
+
+    instance: object
+    payload: object
+
+    def wire_size(self) -> int:
+        from ..sim.network import wire_size
+
+        return 48 + wire_size(self.payload)
+
+
+@dataclass(frozen=True)
+class BrbEcho:
+    instance: object
+    payload: object
+
+    def wire_size(self) -> int:
+        from ..sim.network import wire_size
+
+        return 48 + wire_size(self.payload)
+
+
+@dataclass(frozen=True)
+class BrbReady:
+    instance: object
+    payload: object
+
+    def wire_size(self) -> int:
+        from ..sim.network import wire_size
+
+        return 48 + wire_size(self.payload)
+
+
+def _payload_key(payload: object) -> object:
+    """Hashable identity of a payload for counting matching echoes/readies."""
+    digest_fn = getattr(payload, "digest", None)
+    if callable(digest_fn):
+        return digest_fn()
+    return payload
+
+
+class ReliableBroadcast:
+    """One BRB instance with a designated sender.
+
+    The host supplies ``broadcast_fn`` (send to every node, including the
+    local one) and receives the delivered payload through ``deliver_fn``,
+    which fires at most once.
+    """
+
+    def __init__(
+        self,
+        *,
+        instance: object,
+        node_id: NodeId,
+        sender: NodeId,
+        num_nodes: int,
+        max_faulty: int,
+        broadcast_fn: Callable[[object], None],
+        deliver_fn: Callable[[object], None],
+    ):
+        self.instance = instance
+        self.node_id = node_id
+        self.sender = sender
+        self.num_nodes = num_nodes
+        self.max_faulty = max_faulty
+        self._broadcast = broadcast_fn
+        self._deliver = deliver_fn
+
+        self._echo_sent = False
+        self._ready_sent = False
+        self._delivered = False
+        self._echoes: Dict[object, Set[NodeId]] = {}
+        self._readies: Dict[object, Set[NodeId]] = {}
+        self._payloads: Dict[object, object] = {}
+
+    # ---------------------------------------------------------------- casts
+    def brb_cast(self, payload: object) -> None:
+        """Invoke BRB-CAST; only meaningful at the designated sender."""
+        if self.node_id != self.sender:
+            raise PermissionError("only the designated sender may brb-cast")
+        self._broadcast(BrbSend(instance=self.instance, payload=payload))
+
+    # ------------------------------------------------------------- handlers
+    def handle_message(self, src: NodeId, message: object) -> None:
+        if isinstance(message, BrbSend):
+            self._on_send(src, message)
+        elif isinstance(message, BrbEcho):
+            self._on_echo(src, message)
+        elif isinstance(message, BrbReady):
+            self._on_ready(src, message)
+
+    def _on_send(self, src: NodeId, message: BrbSend) -> None:
+        if src != self.sender or self._echo_sent:
+            return
+        self._echo_sent = True
+        self._broadcast(BrbEcho(instance=self.instance, payload=message.payload))
+
+    def _on_echo(self, src: NodeId, message: BrbEcho) -> None:
+        key = _payload_key(message.payload)
+        self._payloads.setdefault(key, message.payload)
+        voters = self._echoes.setdefault(key, set())
+        voters.add(src)
+        if len(voters) >= 2 * self.max_faulty + 1:
+            self._send_ready(message.payload)
+
+    def _on_ready(self, src: NodeId, message: BrbReady) -> None:
+        key = _payload_key(message.payload)
+        self._payloads.setdefault(key, message.payload)
+        voters = self._readies.setdefault(key, set())
+        voters.add(src)
+        if len(voters) >= self.max_faulty + 1:
+            self._send_ready(message.payload)
+        if len(voters) >= 2 * self.max_faulty + 1 and not self._delivered:
+            self._delivered = True
+            self._deliver(message.payload)
+
+    def _send_ready(self, payload: object) -> None:
+        if self._ready_sent:
+            return
+        self._ready_sent = True
+        self._broadcast(BrbReady(instance=self.instance, payload=payload))
+
+    # -------------------------------------------------------------- queries
+    @property
+    def delivered(self) -> bool:
+        return self._delivered

@@ -1,0 +1,143 @@
+"""ISS checkpointing (Section 3.5).
+
+At the end of every epoch — once the log holds an entry for each of the
+epoch's sequence numbers — every node broadcasts a signed CHECKPOINT message
+carrying the epoch's last sequence number and the Merkle root of the epoch's
+entry digests.  A quorum of ``2f+1`` matching, correctly signed CHECKPOINT
+messages forms a *stable checkpoint*, after which the epoch's SB instances
+can be garbage collected and slow nodes can state-transfer the epoch instead
+of replaying it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..crypto.hashing import hash_int, sha256
+from ..crypto.merkle import merkle_root
+from ..crypto.signatures import SIGNATURE_SIZE, KeyStore
+from .config import ISSConfig
+from .log import Log
+from .segment import epoch_last_sn, epoch_seq_nrs
+from .types import CheckpointCertificate, EpochNr, NodeId, SeqNr
+
+
+@dataclass(frozen=True)
+class CheckpointMsg:
+    """Signed ⟨CHECKPOINT, max(Sn(e)), D(e), σ_i⟩ message."""
+
+    epoch: EpochNr
+    last_sn: SeqNr
+    log_root: bytes
+    sender: NodeId
+    signature: bytes
+
+    def wire_size(self) -> int:
+        return 8 + 8 + len(self.log_root) + 8 + len(self.signature)
+
+
+def checkpoint_signing_payload(epoch: EpochNr, last_sn: SeqNr, log_root: bytes) -> bytes:
+    return b"checkpoint" + hash_int(epoch) + hash_int(last_sn) + log_root
+
+
+def epoch_log_root(log: Log, epoch: EpochNr, epoch_length: int) -> bytes:
+    """``D(e)``: Merkle root of the digests of the epoch's log entries."""
+    digests = log.digests_in(epoch_seq_nrs(epoch, epoch_length))
+    return merkle_root(digests)
+
+
+class CheckpointProtocol:
+    """Per-node state of the checkpointing sub-protocol.
+
+    The host ISS node calls :meth:`local_epoch_complete` when its own log
+    covers an epoch and :meth:`handle_message` for incoming CHECKPOINT
+    messages; :attr:`on_stable` fires exactly once per epoch when the
+    ``2f+1`` quorum is reached locally.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: ISSConfig,
+        key_store: KeyStore,
+        broadcast_fn: Callable[[object], None],
+        on_stable: Callable[[EpochNr, CheckpointCertificate], None],
+    ):
+        self.node_id = node_id
+        self.config = config
+        self.key_store = key_store
+        self._broadcast = broadcast_fn
+        self.on_stable = on_stable
+        #: Received signatures per (epoch, last_sn, root): sender -> signature.
+        self._received: Dict[Tuple[EpochNr, SeqNr, bytes], Dict[NodeId, bytes]] = {}
+        self._stable: Dict[EpochNr, CheckpointCertificate] = {}
+        self._announced_local: set = set()
+
+    # ----------------------------------------------------------- local side
+    def local_epoch_complete(self, epoch: EpochNr, log: Log) -> None:
+        """Broadcast our CHECKPOINT message for a locally complete epoch."""
+        if epoch in self._announced_local:
+            return
+        self._announced_local.add(epoch)
+        last_sn = epoch_last_sn(epoch, self.config.epoch_length)
+        root = epoch_log_root(log, epoch, self.config.epoch_length)
+        payload = checkpoint_signing_payload(epoch, last_sn, root)
+        signature = self.key_store.sign(self.node_id, payload)
+        message = CheckpointMsg(
+            epoch=epoch, last_sn=last_sn, log_root=root, sender=self.node_id,
+            signature=signature,
+        )
+        self._broadcast(message)
+        # Count our own message towards the quorum immediately.
+        self._record(message)
+
+    # --------------------------------------------------------- message side
+    def handle_message(self, src: NodeId, message: CheckpointMsg) -> None:
+        if not isinstance(message, CheckpointMsg):
+            return
+        if message.sender != src:
+            return
+        payload = checkpoint_signing_payload(message.epoch, message.last_sn, message.log_root)
+        if not self.key_store.verify(message.sender, payload, message.signature):
+            return
+        self._record(message)
+
+    def _record(self, message: CheckpointMsg) -> None:
+        if message.epoch in self._stable:
+            return
+        key = (message.epoch, message.last_sn, message.log_root)
+        signatures = self._received.setdefault(key, {})
+        signatures[message.sender] = message.signature
+        if len(signatures) >= self.config.strong_quorum:
+            certificate = CheckpointCertificate(
+                epoch=message.epoch,
+                last_sn=message.last_sn,
+                log_root=message.log_root,
+                signatures=tuple(sorted(signatures.items())),
+            )
+            self._stable[message.epoch] = certificate
+            self.on_stable(message.epoch, certificate)
+
+    # -------------------------------------------------------------- queries
+    def stable_checkpoint(self, epoch: EpochNr) -> Optional[CheckpointCertificate]:
+        return self._stable.get(epoch)
+
+    def latest_stable_epoch(self) -> Optional[EpochNr]:
+        return max(self._stable) if self._stable else None
+
+    def verify_certificate(self, certificate: CheckpointCertificate) -> bool:
+        """Check a certificate received from a peer (used by state transfer)."""
+        if len(certificate.signatures) < self.config.strong_quorum:
+            return False
+        payload = checkpoint_signing_payload(
+            certificate.epoch, certificate.last_sn, certificate.log_root
+        )
+        seen: set = set()
+        for node, signature in certificate.signatures:
+            if node in seen:
+                return False
+            if not self.key_store.verify(node, payload, signature):
+                return False
+            seen.add(node)
+        return True

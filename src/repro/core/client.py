@@ -1,0 +1,183 @@
+"""SMR clients (Section 4.3).
+
+A client signs each request, targets it at the node currently leading the
+bucket the request maps to (plus the nodes projected to lead that bucket in
+the next two epochs), and considers the request delivered once it has
+collected ``f+1`` matching responses.  On every epoch transition — learned
+through quorum-confirmed bucket-assignment messages from the nodes — the
+client re-submits all still-undelivered requests to the new leaders, which
+guarantees that a correct leader eventually receives every request
+(liveness, SMR4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..crypto.signatures import KeyStore
+from ..sim.network import Network
+from ..sim.simulator import Simulator
+from .buckets import assignment_for_epoch, bucket_of
+from .config import ISSConfig
+from .messages import (
+    BucketAssignmentMsg,
+    ClientRequestMsg,
+    ClientResponseMsg,
+    client_endpoint,
+)
+from .types import BucketId, ClientId, EpochNr, NodeId, Request, RequestId
+from .validation import sign_request
+
+#: Callback fired when the client has collected f+1 responses for a request:
+#: ``fn(client_id, request, submit_time, completion_time)``.
+CompletionListener = Callable[[ClientId, Request, float, float], None]
+
+
+@dataclass
+class _PendingRequest:
+    request: Request
+    submitted_at: float
+    responders: Set[NodeId] = field(default_factory=set)
+    completed: bool = False
+
+
+class Client:
+    """One client process submitting requests to the ISS deployment."""
+
+    def __init__(
+        self,
+        client_id: ClientId,
+        config: ISSConfig,
+        sim: Simulator,
+        network: Network,
+        key_store: KeyStore,
+        on_complete: Optional[CompletionListener] = None,
+        sign_requests: Optional[bool] = None,
+    ):
+        self.client_id = client_id
+        self.config = config
+        self.sim = sim
+        self.network = network
+        self.key_store = key_store
+        self.on_complete = on_complete
+        self.sign_requests = (
+            config.client_signatures if sign_requests is None else sign_requests
+        )
+        self.endpoint = client_endpoint(client_id)
+        self._next_timestamp = 0
+        self._pending: Dict[RequestId, _PendingRequest] = {}
+        #: Latest quorum-confirmed bucket assignment and its epoch.
+        self._assignment_epoch: Optional[EpochNr] = None
+        self._assignment: Dict[BucketId, NodeId] = {}
+        #: Votes for not-yet-confirmed assignments: epoch -> assignment -> nodes.
+        self._assignment_votes: Dict[Tuple[EpochNr, Tuple], Set[NodeId]] = {}
+        #: Leaderset implied by the confirmed assignment (for projections).
+        self._known_leaders: List[NodeId] = []
+        #: Cached bucket→leader projections for future epochs.
+        self._projections: Dict[EpochNr, Dict[BucketId, NodeId]] = {}
+        self.requests_submitted = 0
+        self.requests_completed = 0
+        network.register(self.endpoint, self.on_message)
+
+    # ------------------------------------------------------------ submission
+    def submit(self, payload: bytes) -> Request:
+        """Create, sign and send a new request; returns the request object."""
+        rid = RequestId(client=self.client_id, timestamp=self._next_timestamp)
+        self._next_timestamp += 1
+        request = Request(rid=rid, payload=payload)
+        if self.sign_requests:
+            request = sign_request(self.key_store, request)
+        self._pending[rid] = _PendingRequest(request=request, submitted_at=self.sim.now)
+        self.requests_submitted += 1
+        self._send_request(request)
+        return request
+
+    def _send_request(self, request: Request) -> None:
+        targets = self._targets_for(request.rid)
+        message = ClientRequestMsg(request=request)
+        for node in targets:
+            self.network.send(self.endpoint, node, message)
+
+    def _targets_for(self, rid: RequestId) -> List[NodeId]:
+        """Current leader of the request's bucket plus the two projected next
+        leaders (Section 4.3); all nodes when no assignment is known yet."""
+        if self._assignment_epoch is None or not self._known_leaders:
+            return list(range(self.config.num_nodes))
+        bucket = bucket_of(rid, self.config.num_buckets)
+        targets: List[NodeId] = []
+        current = self._assignment.get(bucket)
+        if current is not None:
+            targets.append(current)
+        for offset in (1, 2):
+            projected = self._project_leader(bucket, self._assignment_epoch + offset)
+            if projected is not None and projected not in targets:
+                targets.append(projected)
+        return targets or list(range(self.config.num_nodes))
+
+    def _project_leader(self, bucket: BucketId, epoch: EpochNr) -> Optional[NodeId]:
+        """Project the bucket's leader in a future epoch, assuming the
+        leaderset stays what the last confirmed assignment implied."""
+        if not self._known_leaders:
+            return None
+        projection = self._projections.get(epoch)
+        if projection is None:
+            assignment = assignment_for_epoch(
+                epoch, self._known_leaders, self.config.num_nodes, self.config.num_buckets
+            )
+            projection = {
+                b: leader for leader, buckets in assignment.items() for b in buckets
+            }
+            self._projections[epoch] = projection
+        return projection.get(bucket)
+
+    # -------------------------------------------------------------- messages
+    def on_message(self, src: NodeId, message: object) -> None:
+        if isinstance(message, ClientResponseMsg):
+            self._on_response(src, message)
+        elif isinstance(message, BucketAssignmentMsg):
+            self._on_assignment(src, message)
+
+    def _on_response(self, src: NodeId, message: ClientResponseMsg) -> None:
+        pending = self._pending.get(message.rid)
+        if pending is None or pending.completed:
+            return
+        pending.responders.add(src)
+        if len(pending.responders) >= self.config.weak_quorum:
+            pending.completed = True
+            self.requests_completed += 1
+            if self.on_complete is not None:
+                self.on_complete(
+                    self.client_id, pending.request, pending.submitted_at, self.sim.now
+                )
+            del self._pending[message.rid]
+
+    def _on_assignment(self, src: NodeId, message: BucketAssignmentMsg) -> None:
+        if self._assignment_epoch is not None and message.epoch <= self._assignment_epoch:
+            return
+        key = (message.epoch, message.assignment)
+        votes = self._assignment_votes.setdefault(key, set())
+        votes.add(src)
+        if len(votes) < self.config.weak_quorum:
+            return
+        # Quorum-confirmed: adopt the new assignment and re-submit everything
+        # still pending so the new leaders are guaranteed to have it.
+        self._assignment_epoch = message.epoch
+        self._assignment = dict(message.assignment)
+        self._known_leaders = sorted(set(self._assignment.values()))
+        self._projections = {}
+        self._assignment_votes = {
+            k: v for k, v in self._assignment_votes.items() if k[0] > message.epoch
+        }
+        for pending in self._pending.values():
+            if not pending.completed:
+                self._send_request(pending.request)
+
+    # -------------------------------------------------------------- queries
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def outstanding_within_watermarks(self) -> bool:
+        """Whether the client may submit another request without exceeding its
+        watermark window (approximated client-side by the pending count)."""
+        return len(self._pending) < self.config.client_watermark_window

@@ -1,0 +1,419 @@
+"""The ISS node: multiplexing Sequenced Broadcast instances into one log.
+
+This module ties together everything the paper's Algorithms 1–3 describe:
+
+* request reception and validation into bucket queues,
+* epoch initialisation (leaderset, segments, buckets, SB instances),
+* proposal batching for segments this node leads (through
+  :class:`~repro.core.sb.SBContext` / the proposal pacer),
+* handling of SB-DELIVER events — committing batches to the log, removing
+  delivered requests from bucket queues, resurrecting the node's own
+  unsuccessful proposals on ``⊥``,
+* contiguous delivery with per-request sequence numbers (Equation 2) and
+  client responses,
+* epoch transitions, checkpointing, garbage collection and state transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..crypto.signatures import KeyStore
+from ..fd.detector import FailureDetector, HeartbeatMsg
+from ..sim.faults import FaultInjector, StragglerSpec
+from ..sim.network import Network
+from ..sim.simulator import Simulator, Timer
+from .buckets import BucketPool
+from .checkpoint import CheckpointMsg, CheckpointProtocol
+from .config import ISSConfig, PROTOCOL_CONSENSUS
+from .leader_policy import LeaderSelectionPolicy
+from .log import Log
+from .manager import EpochManager
+from .messages import (
+    BucketAssignmentMsg,
+    ClientRequestMsg,
+    ClientResponseMsg,
+    InstanceMessage,
+    client_endpoint,
+)
+from .orderer import Orderer, SBFactory, default_factory
+from .sb import InstanceId, SBContext
+from .segment import LAYOUT_ROUND_ROBIN, epoch_seq_nrs
+from .state_transfer import StateRequest, StateResponse, StateTransfer
+from .types import (
+    Batch,
+    DeliveredRequest,
+    EpochNr,
+    LogEntry,
+    NIL,
+    NodeId,
+    Request,
+    SegmentDescriptor,
+    SeqNr,
+    is_nil,
+)
+from .validation import ClientWatermarks, RequestValidator
+
+#: Callback invoked for every request delivered at a node.
+DeliveryListener = Callable[[NodeId, DeliveredRequest], None]
+
+
+class ISSNode:
+    """One replica of the ISS state-machine-replication service."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        config: ISSConfig,
+        sim: Simulator,
+        network: Network,
+        key_store: KeyStore,
+        client_ids: Iterable[int] = (),
+        on_deliver: Optional[DeliveryListener] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        straggler: Optional[StragglerSpec] = None,
+        policy: Optional[LeaderSelectionPolicy] = None,
+        layout: str = LAYOUT_ROUND_ROBIN,
+        sb_factory: Optional[SBFactory] = None,
+    ):
+        self.node_id = node_id
+        self.config = config
+        self.sim = sim
+        self.network = network
+        self.key_store = key_store
+        self.client_ids = list(client_ids)
+        self.on_deliver = on_deliver
+        self.fault_injector = fault_injector
+        self.straggler = straggler if straggler and straggler.node == node_id else None
+        self.layout = layout
+
+        # --- replicated state -------------------------------------------------
+        self.log = Log()
+        self.buckets = BucketPool(config.num_buckets)
+        self.watermarks = ClientWatermarks(config.client_watermark_window)
+        self.validator = RequestValidator(
+            key_store,
+            self.client_ids,
+            self.watermarks,
+            verify_signatures=config.client_signatures,
+        )
+        self.manager = EpochManager(config, policy=policy, layout=layout)
+        self.current_epoch: EpochNr = 0
+        #: Batches this node proposed, per sequence number (for resurrection).
+        self._proposed: Dict[SeqNr, Batch] = {}
+        #: Requests seen in accepted proposals of the current epoch, mapped to
+        #: the digest of the batch they appeared in (duplication check that
+        #: still accepts re-validations of the very same batch).
+        self._proposed_this_epoch: Dict[object, bytes] = {}
+        self.crashed = False
+
+        # --- failure detector (used by the consensus-based SB implementation) --
+        self.failure_detector: Optional[FailureDetector] = None
+        if config.protocol == PROTOCOL_CONSENSUS:
+            self.failure_detector = FailureDetector(
+                node_id=node_id,
+                all_nodes=range(config.num_nodes),
+                sim=sim,
+                broadcast_fn=self._broadcast_to_nodes,
+                heartbeat_interval=1.0,
+                initial_timeout=config.epoch_change_timeout,
+            )
+
+        # --- sub-protocols ----------------------------------------------------
+        factory = sb_factory or default_factory(config, failure_detector=self.failure_detector)
+        self.orderer = Orderer(factory)
+        self.checkpoints = CheckpointProtocol(
+            node_id=node_id,
+            config=config,
+            key_store=key_store,
+            broadcast_fn=self._broadcast_to_nodes,
+            on_stable=self._on_stable_checkpoint,
+        )
+        self.state_transfer = StateTransfer(
+            node_id=node_id,
+            config=config,
+            checkpoints=self.checkpoints,
+            send_fn=self._send_to_node,
+            apply_entry_fn=self._apply_transferred_entry,
+        )
+
+        #: Instance messages buffered for epochs we have not started yet.
+        self._pending_messages: Dict[EpochNr, List[Tuple[NodeId, InstanceMessage]]] = {}
+        #: Statistics.
+        self.requests_received = 0
+        self.batches_committed = 0
+        self.nil_committed = 0
+        self.epochs_completed = 0
+
+        network.register(node_id, self.on_message)
+
+    # ====================================================================== API
+    def start(self) -> None:
+        """Boot the node: start the failure detector and epoch 0."""
+        if self.failure_detector is not None:
+            self.failure_detector.start()
+        self._start_epoch(0)
+
+    def crash(self) -> None:
+        """Stop all local activity (used by the fault injector)."""
+        self.crashed = True
+        self.orderer.stop_all()
+        if self.failure_detector is not None:
+            self.failure_detector.stop()
+
+    def submit_request(self, request: Request) -> bool:
+        """Entry point for a locally injected request (bypassing the network).
+
+        Equivalent to receiving a ⟨REQUEST⟩ message; mainly used by tests and
+        examples that do not want to instantiate client processes.
+        """
+        return self._handle_client_request(request)
+
+    # ============================================================== networking
+    def _send_to_node(self, dst: NodeId, message: object) -> None:
+        self.network.send(self.node_id, dst, message)
+
+    def _broadcast_to_nodes(self, message: object) -> None:
+        """Send to every other node; deliver locally without network cost."""
+        for node in range(self.config.num_nodes):
+            if node == self.node_id:
+                self.sim.call_soon(lambda m=message: self.on_message(self.node_id, m))
+            else:
+                self.network.send(self.node_id, node, message)
+
+    def on_message(self, src: NodeId, message: object) -> None:
+        """Network entry point: dispatch by message type."""
+        if self.crashed:
+            return
+        if isinstance(message, InstanceMessage):
+            self._handle_instance_message(src, message)
+        elif isinstance(message, ClientRequestMsg):
+            self._handle_client_request(message.request)
+        elif isinstance(message, CheckpointMsg):
+            self.checkpoints.handle_message(src, message)
+            self._maybe_request_state_transfer(message.epoch)
+        elif isinstance(message, StateRequest):
+            for response in self.state_transfer.build_responses(message, self.log):
+                self._send_to_node(src, response)
+        elif isinstance(message, StateResponse):
+            self.state_transfer.handle_response(response=message, log=self.log)
+            self._after_commit()
+        elif isinstance(message, HeartbeatMsg):
+            if self.failure_detector is not None:
+                self.failure_detector.handle_message(src, message)
+
+    # ======================================================== client requests
+    def _handle_client_request(self, request: Request) -> bool:
+        self.requests_received += 1
+        if self.buckets.is_delivered(request.rid):
+            # Re-transmission of an already delivered request: re-acknowledge.
+            self._send_client_response(request.rid, -1)
+            return False
+        if not self.validator.is_valid(request):
+            return False
+        return self.buckets.add_request(request)
+
+    def _send_client_response(self, rid, sn: int) -> None:
+        if not self.config.send_client_responses:
+            return
+        self.network.send(
+            self.node_id,
+            client_endpoint(rid.client),
+            ClientResponseMsg(rid=rid, sn=sn, node=self.node_id),
+        )
+
+    # ============================================================ epoch logic
+    def _start_epoch(self, epoch: EpochNr) -> None:
+        if self.crashed:
+            return
+        self.current_epoch = epoch
+        self._proposed_this_epoch = {}
+        segments = self.manager.segments_for(epoch)
+        interval = self.manager.proposal_interval(epoch)
+        if self.fault_injector is not None:
+            self.fault_injector.notify_epoch_start(self.node_id, epoch)
+            if self.crashed:
+                return
+        for segment in segments:
+            context = self._build_context(segment, interval)
+            self.orderer.open_segment(context)
+        self._announce_buckets_to_clients(epoch, segments)
+        # Process protocol messages that arrived before we reached this epoch.
+        for src, message in self._pending_messages.pop(epoch, []):
+            self._handle_instance_message(src, message)
+
+    def _build_context(self, segment: SegmentDescriptor, interval: float) -> SBContext:
+        is_straggler_leader = self.straggler is not None and segment.leader == self.node_id
+        return SBContext(
+            node_id=self.node_id,
+            config=self.config,
+            segment=segment,
+            all_nodes=list(range(self.config.num_nodes)),
+            send_fn=lambda dst, payload, seg=segment: self._send_instance_message(
+                dst, seg.instance_id, payload
+            ),
+            local_fn=lambda payload, seg=segment: self._local_instance_message(
+                seg.instance_id, payload
+            ),
+            schedule_fn=self.sim.schedule,
+            now_fn=lambda: self.sim.now,
+            cut_batch_fn=lambda sn, seg=segment: self._cut_batch(seg, sn),
+            validate_batch_fn=lambda batch, seg=segment: self._validate_batch(seg, batch),
+            deliver_fn=lambda sn, value, seg=segment: self._sb_deliver(seg, sn, value),
+            pending_fn=lambda seg=segment: self.buckets.pending_in(seg.buckets),
+            proposal_interval=interval,
+            may_propose_fn=lambda sn, seg=segment: self._may_propose(seg, sn),
+            proposal_delay=self.straggler.delay if is_straggler_leader else 0.0,
+            force_empty_proposals=(
+                self.straggler.propose_empty if is_straggler_leader else False
+            ),
+            key_store=self.key_store,
+        )
+
+    def _announce_buckets_to_clients(self, epoch: EpochNr, segments: Sequence[SegmentDescriptor]) -> None:
+        if not self.client_ids:
+            return
+        assignment = []
+        for segment in segments:
+            for bucket in segment.buckets:
+                assignment.append((bucket, segment.leader))
+        message = BucketAssignmentMsg(epoch=epoch, assignment=tuple(sorted(assignment)))
+        for client in self.client_ids:
+            self.network.send(self.node_id, client_endpoint(client), message)
+
+    # =============================================================== proposals
+    def _cut_batch(self, segment: SegmentDescriptor, sn: SeqNr) -> Batch:
+        """Cut a batch for one of our sequence numbers (Algorithm 2, propose)."""
+        if self.straggler is not None and self.straggler.propose_empty:
+            batch = Batch.of(())
+        else:
+            requests = self.buckets.cut_batch(list(segment.buckets), self.config.max_batch_size)
+            batch = Batch.of(requests)
+        self._proposed[sn] = batch
+        return batch
+
+    def _may_propose(self, segment: SegmentDescriptor, sn: SeqNr) -> bool:
+        if self.crashed:
+            return False
+        if self.fault_injector is not None and sn == segment.seq_nrs[-1]:
+            if self.fault_injector.notify_last_proposal(self.node_id, segment.epoch):
+                return False
+        return not self.crashed
+
+    def _validate_batch(self, segment: SegmentDescriptor, batch: Batch) -> bool:
+        """Follower acceptance rules (a)–(c) of Section 4.2."""
+        digest = batch.digest()
+        seen_in_batch = set()
+        for request in batch.requests:
+            if request.rid in seen_in_batch:
+                return False
+            seen_in_batch.add(request.rid)
+            if self.buckets.bucket_of(request.rid) not in segment.buckets:
+                return False
+            if self.buckets.is_delivered(request.rid):
+                return False
+            earlier = self._proposed_this_epoch.get(request.rid)
+            if earlier is not None and earlier != digest:
+                return False
+            if not self.validator.is_valid(request):
+                return False
+        for request in batch.requests:
+            self._proposed_this_epoch[request.rid] = digest
+        return True
+
+    # ================================================================ delivery
+    def _sb_deliver(self, segment: SegmentDescriptor, sn: SeqNr, value: LogEntry) -> None:
+        """SB-DELIVER handler (Algorithm 1, lines 40–48)."""
+        if self.crashed:
+            return
+        if self.log.has_entry(sn):
+            return
+        self.log.commit(sn, value, segment.epoch, self.sim.now)
+        if is_nil(value):
+            self.nil_committed += 1
+            proposed = self._proposed.get(sn)
+            if proposed is not None:
+                # Our own proposal was aborted: return its requests to the
+                # bucket queues so a later segment can re-propose them.
+                self.buckets.resurrect(proposed.requests)
+        else:
+            self.batches_committed += 1
+            for request in value.requests:
+                self.buckets.mark_delivered(request)
+                self.watermarks.note_delivered(request.rid.client, request.rid.timestamp)
+        self._after_commit()
+
+    def _apply_transferred_entry(self, sn: SeqNr, entry: LogEntry, epoch: EpochNr) -> None:
+        """Apply a state-transferred log entry (same effects as SB-DELIVER)."""
+        if self.log.has_entry(sn):
+            return
+        self.log.commit(sn, entry, epoch, self.sim.now)
+        if not is_nil(entry):
+            self.batches_committed += 1
+            for request in entry.requests:
+                self.buckets.mark_delivered(request)
+                self.watermarks.note_delivered(request.rid.client, request.rid.timestamp)
+
+    def _after_commit(self) -> None:
+        """Advance contiguous delivery and epoch state after any commit."""
+        delivered = self.log.advance_delivery(self.sim.now)
+        for item in delivered:
+            self._send_client_response(item.request.rid, item.sn)
+            if self.on_deliver is not None:
+                self.on_deliver(self.node_id, item)
+        # Epoch transitions: the current epoch may now be complete; epochs are
+        # processed strictly sequentially (Algorithm 1, line 50).
+        while self.manager.epoch_complete(self.current_epoch, self.log) and not self.crashed:
+            finished = self.current_epoch
+            self.manager.finish_epoch(finished, self.log)
+            self.checkpoints.local_epoch_complete(finished, self.log)
+            self.watermarks.advance_epoch()
+            self.epochs_completed += 1
+            self._start_epoch(finished + 1)
+
+    # ============================================================ checkpointing
+    def _on_stable_checkpoint(self, epoch: EpochNr, certificate) -> None:
+        """Garbage-collect the epoch's instances once its checkpoint is stable."""
+        self.orderer.stop_epoch(epoch)
+
+    def _maybe_request_state_transfer(self, checkpoint_epoch: EpochNr) -> None:
+        """A stable checkpoint ahead of us means we fell behind: catch up."""
+        if checkpoint_epoch > self.current_epoch:
+            peers = [n for n in range(self.config.num_nodes) if n != self.node_id]
+            self.state_transfer.request_missing(self.current_epoch, checkpoint_epoch, peers)
+
+    # ======================================================= instance messages
+    def _send_instance_message(self, dst: NodeId, instance_id: InstanceId, payload: object) -> None:
+        self.network.send(self.node_id, dst, InstanceMessage(instance_id=instance_id, payload=payload))
+
+    def _local_instance_message(self, instance_id: InstanceId, payload: object) -> None:
+        """Local short-circuit for a node's messages to itself (no NIC cost)."""
+        self.sim.call_soon(
+            lambda: self._dispatch_instance_message(self.node_id, instance_id, payload)
+        )
+
+    def _handle_instance_message(self, src: NodeId, message: InstanceMessage) -> None:
+        self._dispatch_instance_message(src, message.instance_id, message.payload)
+
+    def _dispatch_instance_message(self, src: NodeId, instance_id: InstanceId, payload: object) -> None:
+        if self.crashed:
+            return
+        if self.orderer.handle_message(instance_id, src, payload):
+            return
+        epoch = instance_id[0]
+        if epoch > self.current_epoch:
+            # Future epoch: buffer until we get there; if we are far behind,
+            # also trigger state transfer for the missing epochs.
+            self._pending_messages.setdefault(epoch, []).append(
+                (src, InstanceMessage(instance_id=instance_id, payload=payload))
+            )
+            if epoch > self.current_epoch + 1:
+                self._maybe_request_state_transfer(epoch - 1)
+        # Messages for garbage-collected epochs are stale and dropped.
+
+    # ================================================================= queries
+    def delivered_count(self) -> int:
+        return self.log.total_delivered_requests
+
+    def pending_requests(self) -> int:
+        return self.buckets.total_pending()

@@ -1,0 +1,141 @@
+"""The replicated log maintained by every ISS node.
+
+Each position holds either a committed batch or the ``⊥`` placeholder.  The
+log exposes the two derived quantities ISS needs:
+
+* contiguous delivery — a batch is *delivered* (handed to the application /
+  client responses) once every lower position is filled (Algorithm 1,
+  line 54), and
+* per-request sequence numbers following Equation (2): the rank of the
+  request across all non-``⊥`` entries delivered so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .types import Batch, DeliveredRequest, EpochNr, LogEntry, NIL, Request, SeqNr, is_nil
+
+
+@dataclass
+class CommittedEntry:
+    """A log entry together with commit metadata (for metrics and clients)."""
+
+    sn: SeqNr
+    entry: LogEntry
+    epoch: EpochNr
+    committed_at: float
+
+
+class Log:
+    """Append-by-position log with contiguous delivery tracking."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[SeqNr, CommittedEntry] = {}
+        self._first_undelivered: SeqNr = 0
+        #: Total number of *requests* delivered so far (Equation 2 counter).
+        self._total_delivered_requests = 0
+        self._delivered_batches: List[CommittedEntry] = []
+
+    # ------------------------------------------------------------ mutation
+    def commit(self, sn: SeqNr, entry: LogEntry, epoch: EpochNr, now: float) -> bool:
+        """Insert ``entry`` at position ``sn``.
+
+        Returns True if the position was previously empty.  Committing a
+        different value to an already-filled position raises — that would be
+        an agreement violation and should never survive silently.
+        """
+        existing = self._entries.get(sn)
+        if existing is not None:
+            same_nil = is_nil(existing.entry) and is_nil(entry)
+            same_batch = (
+                not is_nil(existing.entry)
+                and not is_nil(entry)
+                and existing.entry.digest() == entry.digest()
+            )
+            if same_nil or same_batch:
+                return False
+            raise ValueError(f"conflicting commit at sequence number {sn}")
+        self._entries[sn] = CommittedEntry(sn=sn, entry=entry, epoch=epoch, committed_at=now)
+        return True
+
+    def advance_delivery(self, now: float) -> List[DeliveredRequest]:
+        """Deliver every contiguous newly-complete position.
+
+        Returns the requests delivered in order, each with its global
+        per-request sequence number from Equation (2).
+        """
+        delivered: List[DeliveredRequest] = []
+        while self._first_undelivered in self._entries:
+            committed = self._entries[self._first_undelivered]
+            self._delivered_batches.append(committed)
+            if not is_nil(committed.entry):
+                for request in committed.entry.requests:
+                    delivered.append(
+                        DeliveredRequest(
+                            request=request,
+                            sn=self._total_delivered_requests,
+                            batch_sn=committed.sn,
+                            epoch=committed.epoch,
+                            delivered_at=now,
+                        )
+                    )
+                    self._total_delivered_requests += 1
+            self._first_undelivered += 1
+        return delivered
+
+    # ------------------------------------------------------------- queries
+    def entry(self, sn: SeqNr) -> Optional[LogEntry]:
+        committed = self._entries.get(sn)
+        return committed.entry if committed else None
+
+    def committed(self, sn: SeqNr) -> Optional[CommittedEntry]:
+        return self._entries.get(sn)
+
+    def has_entry(self, sn: SeqNr) -> bool:
+        return sn in self._entries
+
+    def is_complete(self, seq_nrs: Iterable[SeqNr]) -> bool:
+        """True when every given position holds an entry."""
+        return all(sn in self._entries for sn in seq_nrs)
+
+    def missing(self, seq_nrs: Iterable[SeqNr]) -> List[SeqNr]:
+        return [sn for sn in seq_nrs if sn not in self._entries]
+
+    @property
+    def first_undelivered(self) -> SeqNr:
+        return self._first_undelivered
+
+    @property
+    def total_delivered_requests(self) -> int:
+        return self._total_delivered_requests
+
+    def highest_committed(self) -> Optional[SeqNr]:
+        return max(self._entries) if self._entries else None
+
+    def committed_count(self) -> int:
+        return len(self._entries)
+
+    def nil_positions(self) -> List[SeqNr]:
+        """All positions that committed the ``⊥`` placeholder."""
+        return sorted(sn for sn, c in self._entries.items() if is_nil(c.entry))
+
+    def entries_in(self, seq_nrs: Iterable[SeqNr]) -> List[Tuple[SeqNr, LogEntry]]:
+        return [(sn, self._entries[sn].entry) for sn in seq_nrs if sn in self._entries]
+
+    def digests_in(self, seq_nrs: Iterable[SeqNr]) -> List[bytes]:
+        """Entry digests for the given positions, in the given order.
+
+        Used to compute the checkpoint Merkle root ``D(e)``.
+        """
+        digests: List[bytes] = []
+        for sn in seq_nrs:
+            committed = self._entries.get(sn)
+            if committed is None:
+                raise KeyError(f"no entry at sequence number {sn}")
+            digests.append(committed.entry.digest())
+        return digests
+
+    def delivered_requests_count(self) -> int:
+        return self._total_delivered_requests

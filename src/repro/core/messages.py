@@ -1,0 +1,75 @@
+"""Top-level message envelopes exchanged between ISS nodes and clients.
+
+Protocol messages of the individual SB instances are wrapped in
+:class:`InstanceMessage` envelopes carrying the instance identifier
+``(epoch, segment leader)`` so the receiving node can route them; checkpoint,
+state-transfer and client messages travel unwrapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..sim.network import wire_size
+from .types import BucketId, EpochNr, NodeId, Request, RequestId, SeqNr
+
+#: Network endpoint ids of clients start here so they never collide with nodes.
+CLIENT_ENDPOINT_OFFSET = 1_000_000
+
+
+def client_endpoint(client_id: int) -> int:
+    """Network endpoint identifier of a client process."""
+    return CLIENT_ENDPOINT_OFFSET + client_id
+
+
+def is_client_endpoint(endpoint: int) -> bool:
+    return endpoint >= CLIENT_ENDPOINT_OFFSET
+
+
+@dataclass(frozen=True)
+class InstanceMessage:
+    """Envelope routing a protocol message to one SB instance."""
+
+    instance_id: Tuple[EpochNr, NodeId]
+    payload: object
+
+    def wire_size(self) -> int:
+        return 16 + wire_size(self.payload)
+
+
+@dataclass(frozen=True)
+class ClientRequestMsg:
+    """⟨REQUEST, r⟩ sent by a client to a node."""
+
+    request: Request
+
+    def wire_size(self) -> int:
+        return 8 + self.request.size_bytes()
+
+
+@dataclass(frozen=True)
+class ClientResponseMsg:
+    """A node's acknowledgement that it delivered the client's request."""
+
+    rid: RequestId
+    sn: int
+    node: NodeId
+
+    def wire_size(self) -> int:
+        return 48
+
+
+@dataclass(frozen=True)
+class BucketAssignmentMsg:
+    """Epoch-transition notification to clients (Section 4.3).
+
+    Maps every bucket to the node leading its segment in ``epoch`` so clients
+    can send each request to the leader currently responsible for it.
+    """
+
+    epoch: EpochNr
+    assignment: Tuple[Tuple[BucketId, NodeId], ...]
+
+    def wire_size(self) -> int:
+        return 16 + 8 * len(self.assignment)

@@ -1,0 +1,210 @@
+"""The Sequenced Broadcast (SB) abstraction (Section 2.2).
+
+An SB instance is parametrised by a designated sender σ (the segment
+leader), an explicit set of sequence numbers S (the segment's positions), an
+explicit message set M (batches drawn from the segment's buckets) and a
+failure-detector instance.  Correct nodes deliver, for *every* sequence
+number in S, either a batch sb-cast by σ or the special ``⊥`` value — the
+latter only after some correct node suspected σ.
+
+This module defines the interface between ISS and its SB implementations
+(PBFT, HotStuff, Raft, or the reference consensus-based construction):
+
+* :class:`SBContext` — everything the host node provides to an instance
+  (routing, timers, batch cutting, validation, delivery).
+* :class:`SBInstance` — the behaviour every implementation must provide.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from .config import ISSConfig
+from .types import Batch, EpochNr, LogEntry, NodeId, SegmentDescriptor, SeqNr
+from ..sim.simulator import Timer
+
+
+#: Type of the instance identifier: ``(epoch, segment leader)``.
+InstanceId = Tuple[EpochNr, NodeId]
+
+
+class SBContext:
+    """Host-node services handed to a Sequenced Broadcast instance.
+
+    The context hides everything about the surrounding ISS node: message
+    routing (protocol messages are wrapped with the instance id and sent over
+    the simulated network), virtual-time timers, batch construction from the
+    segment's bucket queues, proposal validation, and the SB-DELIVER path
+    back into the log.
+    """
+
+    def __init__(
+        self,
+        *,
+        node_id: NodeId,
+        config: ISSConfig,
+        segment: SegmentDescriptor,
+        all_nodes: Iterable[NodeId],
+        send_fn: Callable[[NodeId, object], None],
+        local_fn: Callable[[object], None],
+        schedule_fn: Callable[[float, Callable[[], None]], Timer],
+        now_fn: Callable[[], float],
+        cut_batch_fn: Callable[[SeqNr], Batch],
+        validate_batch_fn: Callable[[Batch], bool],
+        deliver_fn: Callable[[SeqNr, LogEntry], None],
+        pending_fn: Callable[[], int],
+        proposal_interval: float = 0.0,
+        may_propose_fn: Optional[Callable[[SeqNr], bool]] = None,
+        proposal_delay: float = 0.0,
+        force_empty_proposals: bool = False,
+        key_store: Optional[object] = None,
+    ):
+        self.node_id = node_id
+        self.config = config
+        self.segment = segment
+        self.all_nodes: List[NodeId] = list(all_nodes)
+        self._send = send_fn
+        self._local = local_fn
+        self._schedule = schedule_fn
+        self._now = now_fn
+        self._cut_batch = cut_batch_fn
+        self._validate_batch = validate_batch_fn
+        self._deliver = deliver_fn
+        self._pending = pending_fn
+        #: Minimum spacing between this leader's proposals (rate limiting,
+        #: Section 4.4.1 / the fixed batch rate of Table 1).  Zero disables.
+        self.proposal_interval = proposal_interval
+        self._may_propose = may_propose_fn
+        #: Byzantine-straggler knobs (Section 6.4.2): extra delay before each
+        #: proposal and stripping of requests from proposals.
+        self.proposal_delay = proposal_delay
+        self.force_empty_proposals = force_empty_proposals
+        #: Deployment key store (used by HotStuff for threshold signatures and
+        #: by any implementation that wants to sign protocol messages).
+        self.key_store = key_store
+
+    # ------------------------------------------------------------ identity
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    @property
+    def max_faulty(self) -> int:
+        return self.config.max_faulty
+
+    @property
+    def strong_quorum(self) -> int:
+        return self.config.strong_quorum
+
+    @property
+    def weak_quorum(self) -> int:
+        return self.config.weak_quorum
+
+    @property
+    def is_leader(self) -> bool:
+        """True when this node is the segment's designated sender σ."""
+        return self.segment.leader == self.node_id
+
+    # ----------------------------------------------------------- messaging
+    def send(self, dst: NodeId, message: object) -> None:
+        """Send a protocol message to one peer (self-sends short-circuit)."""
+        if dst == self.node_id:
+            self._local(message)
+        else:
+            self._send(dst, message)
+
+    def broadcast(self, message: object, include_self: bool = True) -> None:
+        """Send a protocol message to every node (optionally including self)."""
+        for node in self.all_nodes:
+            if node == self.node_id:
+                if include_self:
+                    self._local(message)
+            else:
+                self._send(node, message)
+
+    # -------------------------------------------------------------- timing
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        return self._schedule(delay, callback)
+
+    def now(self) -> float:
+        return self._now()
+
+    # ------------------------------------------------------------ batching
+    def cut_batch(self, sn: SeqNr) -> Batch:
+        """Cut a batch for ``sn`` from the segment's bucket queues.
+
+        The host records the proposal (for resurrection on ``⊥``) and removes
+        the requests from its queues; a straggler host returns empty batches.
+        """
+        return self._cut_batch(sn)
+
+    def pending_requests(self) -> int:
+        """Requests currently waiting in the segment's buckets."""
+        return self._pending()
+
+    def batch_ready(self) -> bool:
+        """True when enough requests are pending to fill a batch."""
+        return self._pending() >= self.config.max_batch_size
+
+    def may_propose(self, sn: SeqNr) -> bool:
+        """Crash-fault hook: False means the node just crashed (suppress send)."""
+        if self._may_propose is None:
+            return True
+        return self._may_propose(sn)
+
+    # ---------------------------------------------------------- validation
+    def validate_batch(self, batch: Batch) -> bool:
+        """Follower-side proposal check (Section 4.2, acceptance rule (a)-(c))."""
+        return self._validate_batch(batch)
+
+    # ------------------------------------------------------------ delivery
+    def deliver(self, sn: SeqNr, value: LogEntry) -> None:
+        """Trigger SB-DELIVER(sn, value) at the host node."""
+        self._deliver(sn, value)
+
+
+class SBInstance(ABC):
+    """Behaviour required from every Sequenced Broadcast implementation.
+
+    Lifecycle: the host constructs the instance with its :class:`SBContext`,
+    calls :meth:`start` (the SB-INIT event), routes incoming protocol
+    messages to :meth:`handle_message`, and finally calls :meth:`stop` once
+    the segment is covered by a stable checkpoint and can be garbage
+    collected.  The instance must call ``context.deliver(sn, value)`` exactly
+    once for every sequence number of its segment (SB Termination).
+    """
+
+    def __init__(self, context: SBContext):
+        self.context = context
+
+    @property
+    def instance_id(self) -> InstanceId:
+        return self.context.segment.instance_id
+
+    @property
+    def segment(self) -> SegmentDescriptor:
+        return self.context.segment
+
+    @abstractmethod
+    def start(self) -> None:
+        """SB-INIT: begin participating in the instance."""
+
+    @abstractmethod
+    def handle_message(self, src: NodeId, message: object) -> None:
+        """Process one protocol message addressed to this instance."""
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Stop all activity (cancel timers); called at garbage collection."""
+
+
+@dataclass
+class SBDelivery:
+    """Record of one SB-DELIVER event (used by tests and the orderer)."""
+
+    instance_id: InstanceId
+    sn: SeqNr
+    value: LogEntry
+    delivered_at: float

@@ -1,0 +1,136 @@
+"""Request validation and client watermarks (Section 3.7).
+
+A request is valid iff (1) its signature verifies, (2) its client identifier
+belongs to the known client set, and (3) its timestamp falls within the
+client's current watermark window.  Watermark windows bound how many requests
+a client can have in flight, which in turn bounds how much a malicious client
+can bias the request-to-bucket distribution; ISS advances the windows at
+epoch transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
+
+from ..crypto.signatures import KeyStore
+from .types import ClientId, Request
+
+
+def request_signing_payload(request: Request) -> bytes:
+    """Bytes covered by the client signature: the identifier and the payload."""
+    return (
+        request.rid.client.to_bytes(8, "little", signed=False)
+        + request.rid.timestamp.to_bytes(8, "little", signed=False)
+        + request.payload
+    )
+
+
+def sign_request(key_store: KeyStore, request: Request) -> Request:
+    """Return a copy of ``request`` signed with its client's key."""
+    signature = key_store.sign(request.rid.client, request_signing_payload(request))
+    return Request(rid=request.rid, payload=request.payload, signature=signature)
+
+
+class ClientWatermarks:
+    """Per-client watermark windows.
+
+    A client may only use timestamps in ``[low, low + window)``, i.e. it may
+    have at most ``window`` requests in flight.  The low watermark advances
+    at epoch transitions (Section 3.7) to the end of the client's
+    *contiguously delivered* timestamp prefix: everything below ``low`` has
+    been delivered, so sliding the window there never invalidates an
+    in-flight request while still bounding how far ahead a client can run.
+    """
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError("watermark window must be >= 1")
+        self.window = window
+        self._low: Dict[ClientId, int] = {}
+        #: Next timestamp still missing from the contiguous delivered prefix.
+        self._prefix: Dict[ClientId, int] = {}
+        #: Delivered timestamps above the prefix (pruned as the prefix grows).
+        self._out_of_order: Dict[ClientId, set] = {}
+
+    def low_watermark(self, client: ClientId) -> int:
+        return self._low.get(client, 0)
+
+    def in_window(self, client: ClientId, timestamp: int) -> bool:
+        low = self.low_watermark(client)
+        return low <= timestamp < low + self.window
+
+    def note_delivered(self, client: ClientId, timestamp: int) -> None:
+        """Record a delivered request (called on every SMR-DELIVER)."""
+        prefix = self._prefix.get(client, 0)
+        if timestamp < prefix:
+            return
+        pending = self._out_of_order.setdefault(client, set())
+        pending.add(timestamp)
+        while prefix in pending:
+            pending.discard(prefix)
+            prefix += 1
+        self._prefix[client] = prefix
+
+    def advance_epoch(self) -> None:
+        """Advance every client's window at an epoch transition."""
+        for client, prefix in self._prefix.items():
+            self._low[client] = max(self._low.get(client, 0), prefix)
+
+
+@dataclass
+class ValidationStats:
+    """Counts of accepted / rejected requests, per rejection reason."""
+
+    accepted: int = 0
+    bad_signature: int = 0
+    unknown_client: int = 0
+    outside_watermarks: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return self.bad_signature + self.unknown_client + self.outside_watermarks
+
+
+class RequestValidator:
+    """Implements the three-part validity check of Section 3.7."""
+
+    def __init__(
+        self,
+        key_store: KeyStore,
+        known_clients: Iterable[ClientId],
+        watermarks: ClientWatermarks,
+        verify_signatures: bool = True,
+    ):
+        self.key_store = key_store
+        self.known_clients: Set[ClientId] = set(known_clients)
+        self.watermarks = watermarks
+        self.verify_signatures = verify_signatures
+        self.stats = ValidationStats()
+        #: Requests whose signature this node already verified (a node sees
+        #: the same request on reception and again inside proposals; the
+        #: crypto result cannot change, so re-verification is skipped).
+        self._verified: Set[tuple] = set()
+
+    def add_client(self, client: ClientId) -> None:
+        self.known_clients.add(client)
+
+    def is_valid(self, request: Request) -> bool:
+        """Full validity check; updates :attr:`stats` with the outcome."""
+        if request.rid.client not in self.known_clients:
+            self.stats.unknown_client += 1
+            return False
+        if not self.watermarks.in_window(request.rid.client, request.rid.timestamp):
+            self.stats.outside_watermarks += 1
+            return False
+        if self.verify_signatures:
+            cache_key = (request.rid, request.signature)
+            if cache_key not in self._verified:
+                if not self.key_store.verify(
+                    request.rid.client, request_signing_payload(request), request.signature
+                ):
+                    self.stats.bad_signature += 1
+                    return False
+                self._verified.add(cache_key)
+        self.stats.accepted += 1
+        return True

@@ -1,0 +1,29 @@
+"""Hashing helpers used across the reproduction."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Union
+
+Bytes = Union[bytes, bytearray, memoryview]
+
+
+def sha256(*parts: Bytes) -> bytes:
+    """SHA-256 over the concatenation of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part)
+    return h.digest()
+
+
+def hash_int(value: int, width: int = 8) -> bytes:
+    """Hash-friendly little-endian encoding of a non-negative integer."""
+    return value.to_bytes(width, "little", signed=False)
+
+
+def combine_digests(digests: Iterable[bytes]) -> bytes:
+    """Combine an ordered sequence of digests into a single digest."""
+    h = hashlib.sha256()
+    for digest in digests:
+        h.update(digest)
+    return h.digest()

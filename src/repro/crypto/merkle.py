@@ -1,0 +1,92 @@
+"""Merkle trees for checkpoint digests and state-transfer proofs.
+
+ISS checkpoints (Section 3.5) carry ``D(e)``, the Merkle-tree root of the
+digests of all batches committed in epoch ``e``.  State transfer uses the
+same tree to prove that fetched log entries belong to a stable checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .hashing import sha256
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+_EMPTY_ROOT = sha256(b"empty-merkle-tree")
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for one leaf: the sibling hashes from leaf to root."""
+
+    leaf_index: int
+    leaf_count: int
+    #: Sibling digests bottom-up, each tagged with whether it sits on the left.
+    path: Tuple[Tuple[bytes, bool], ...]
+
+
+class MerkleTree:
+    """A static Merkle tree over an ordered sequence of leaf digests."""
+
+    def __init__(self, leaves: Sequence[bytes]):
+        self._leaves: List[bytes] = [sha256(_LEAF_PREFIX, leaf) for leaf in leaves]
+        self._levels: List[List[bytes]] = self._build_levels(self._leaves)
+
+    @staticmethod
+    def _build_levels(leaves: List[bytes]) -> List[List[bytes]]:
+        if not leaves:
+            return [[_EMPTY_ROOT]]
+        levels = [list(leaves)]
+        current = leaves
+        while len(current) > 1:
+            nxt: List[bytes] = []
+            for i in range(0, len(current), 2):
+                left = current[i]
+                right = current[i + 1] if i + 1 < len(current) else current[i]
+                nxt.append(sha256(_NODE_PREFIX, left, right))
+            levels.append(nxt)
+            current = nxt
+        return levels
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaves)
+
+    def proof(self, index: int) -> MerkleProof:
+        """Build an inclusion proof for the leaf at ``index``."""
+        if not 0 <= index < len(self._leaves):
+            raise IndexError(f"leaf index {index} out of range")
+        path: List[Tuple[bytes, bool]] = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling_index = position ^ 1
+            if sibling_index >= len(level):
+                sibling_index = position  # odd node duplicated
+            sibling_is_left = sibling_index < position
+            path.append((level[sibling_index], sibling_is_left))
+            position //= 2
+        return MerkleProof(leaf_index=index, leaf_count=len(self._leaves), path=tuple(path))
+
+    @staticmethod
+    def verify(root: bytes, leaf: bytes, proof: MerkleProof) -> bool:
+        """Verify that ``leaf`` (raw digest, pre-hash) is included under ``root``."""
+        if proof.leaf_count == 0:
+            return False
+        current = sha256(_LEAF_PREFIX, leaf)
+        for sibling, sibling_is_left in proof.path:
+            if sibling_is_left:
+                current = sha256(_NODE_PREFIX, sibling, current)
+            else:
+                current = sha256(_NODE_PREFIX, current, sibling)
+        return current == root
+
+
+def merkle_root(leaves: Sequence[bytes]) -> bytes:
+    """Convenience wrapper: the Merkle root of an ordered digest sequence."""
+    return MerkleTree(leaves).root

@@ -1,0 +1,10 @@
+"""Eventually strong failure detector ◇S(bz)."""
+
+from .detector import (
+    FailureDetector,
+    HeartbeatMsg,
+    EVENT_SUSPECT,
+    EVENT_RESTORE,
+)
+
+__all__ = ["FailureDetector", "HeartbeatMsg", "EVENT_SUSPECT", "EVENT_RESTORE"]

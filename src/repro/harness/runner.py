@@ -1,0 +1,196 @@
+"""Experiment harness: build and run one complete simulated deployment.
+
+A :class:`Deployment` wires together everything one experiment needs —
+simulator, WAN network, key store, ISS (or baseline) nodes, clients, the
+open-loop workload generator, fault injection and metrics — runs it for the
+configured virtual duration, and returns a :class:`~repro.metrics.RunReport`.
+This is the programmatic equivalent of the paper's cloud-deployment tooling
+(Section 4.4.3), minus the cloud bill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from ..baselines.mirbft import MirBFTNode
+from ..core.client import Client
+from ..core.config import ISSConfig, NetworkConfig, WorkloadConfig
+from ..core.iss import ISSNode
+from ..core.leader_policy import LeaderSelectionPolicy
+from ..core.segment import LAYOUT_ROUND_ROBIN
+from ..crypto.signatures import KeyStore
+from ..metrics.collector import MetricsCollector, RunReport
+from ..sim.faults import CrashSpec, FaultInjector, StragglerSpec
+from ..sim.latency import LatencyModel
+from ..sim.network import Network
+from ..sim.simulator import Simulator
+from ..workload.generator import WorkloadGenerator
+
+#: Factory returning a fresh leader-selection policy for one node.
+PolicyFactory = Callable[[ISSConfig], LeaderSelectionPolicy]
+
+
+@dataclass
+class DeploymentResult:
+    """Report plus the raw objects, for tests that want to inspect internals."""
+
+    report: RunReport
+    nodes: List[ISSNode] = field(default_factory=list)
+    clients: List[Client] = field(default_factory=list)
+    network: Optional[Network] = None
+    collector: Optional[MetricsCollector] = None
+
+
+class Deployment:
+    """One fully wired simulated ISS (or baseline) deployment."""
+
+    def __init__(
+        self,
+        config: ISSConfig,
+        network_config: Optional[NetworkConfig] = None,
+        workload: Optional[WorkloadConfig] = None,
+        crash_specs: Sequence[CrashSpec] = (),
+        straggler_specs: Sequence[StragglerSpec] = (),
+        policy_factory: Optional[PolicyFactory] = None,
+        node_class: Type[ISSNode] = ISSNode,
+        layout: str = LAYOUT_ROUND_ROBIN,
+        drain_time: float = 5.0,
+    ):
+        self.config = config
+        self.network_config = network_config or NetworkConfig()
+        self.workload = workload or WorkloadConfig()
+        self.crash_specs = list(crash_specs)
+        self.straggler_specs = list(straggler_specs)
+        self.policy_factory = policy_factory
+        self.node_class = node_class
+        self.layout = layout
+        self.drain_time = drain_time
+
+        self.sim = Simulator(seed=config.random_seed)
+        self.latency = LatencyModel(self.network_config, config.num_nodes)
+        self.network = Network(self.sim, self.network_config, self.latency)
+        self.key_store = KeyStore(deployment_seed=config.random_seed)
+        self.injector = FaultInjector(self.sim, self.network)
+        self.collector = MetricsCollector(
+            completion_quorum=config.weak_quorum, warmup=self.workload.warmup
+        )
+
+        client_ids = list(range(self.workload.num_clients))
+        stragglers_by_node: Dict[int, StragglerSpec] = {
+            spec.node: spec for spec in self.straggler_specs
+        }
+
+        self.nodes: List[ISSNode] = []
+        for node_id in range(config.num_nodes):
+            policy = self.policy_factory(config) if self.policy_factory else None
+            node = self.node_class(
+                node_id=node_id,
+                config=config,
+                sim=self.sim,
+                network=self.network,
+                key_store=self.key_store,
+                client_ids=client_ids,
+                on_deliver=self.collector.record_delivery,
+                fault_injector=self.injector,
+                straggler=stragglers_by_node.get(node_id),
+                policy=policy,
+                layout=layout,
+            )
+            self.nodes.append(node)
+        self.injector.on_crash = self._on_node_crash
+        self.injector.schedule_all(self.crash_specs)
+
+        self.clients: List[Client] = []
+        for client_id in client_ids:
+            client = Client(
+                client_id=client_id,
+                config=config,
+                sim=self.sim,
+                network=self.network,
+                key_store=self.key_store,
+                on_complete=self.collector.record_client_completion,
+            )
+            self.clients.append(client)
+        self.latency.register_extra_endpoints([c.endpoint for c in self.clients])
+
+        self.generator = WorkloadGenerator(
+            clients=self.clients,
+            workload=self.workload,
+            sim=self.sim,
+            on_submit=lambda request, time: self.collector.record_submit(request.rid, time),
+        )
+
+    # ------------------------------------------------------------------ run
+    def _on_node_crash(self, node_id: int) -> None:
+        self.nodes[node_id].crash()
+
+    def run(self) -> DeploymentResult:
+        """Run the experiment and return its report."""
+        for node in self.nodes:
+            node.start()
+        self.generator.start()
+        total_time = self.workload.duration + self.drain_time
+        self.sim.run(until=total_time)
+        report = self.collector.report(duration=self.workload.duration, extra=self._extra_stats())
+        return DeploymentResult(
+            report=report,
+            nodes=self.nodes,
+            clients=self.clients,
+            network=self.network,
+            collector=self.collector,
+        )
+
+    def _extra_stats(self) -> Dict[str, float]:
+        alive = [n for n in self.nodes if not n.crashed]
+        sample = alive[0] if alive else self.nodes[0]
+        return {
+            "messages_sent": float(self.network.stats.messages_sent),
+            "bytes_sent": float(self.network.stats.bytes_sent),
+            "messages_dropped": float(self.network.stats.messages_dropped),
+            "epochs_completed": float(sample.epochs_completed),
+            "batches_committed": float(sample.batches_committed),
+            "nil_committed": float(sample.nil_committed),
+            "requests_submitted": float(self.generator.submitted),
+            "requests_deferred": float(self.generator.deferred),
+            "sim_events": float(self.sim.events_executed),
+        }
+
+
+def run_experiment(
+    config: ISSConfig,
+    workload: WorkloadConfig,
+    network_config: Optional[NetworkConfig] = None,
+    **kwargs,
+) -> RunReport:
+    """Convenience wrapper: build a deployment, run it, return the report."""
+    deployment = Deployment(
+        config=config, network_config=network_config, workload=workload, **kwargs
+    )
+    return deployment.run().report
+
+
+def find_peak_throughput(
+    make_report: Callable[[float], RunReport],
+    offered_loads: Sequence[float],
+) -> Dict[str, object]:
+    """Sweep offered load and return the peak achieved throughput.
+
+    Mirrors the paper's methodology: "we run experiments with increasing the
+    client request submission rate until the throughput is saturated" and
+    report the highest measured throughput before saturation.
+    """
+    best_throughput = 0.0
+    best_load = 0.0
+    points = []
+    for load in offered_loads:
+        report = make_report(load)
+        points.append((load, report.throughput, report.latency.mean))
+        if report.throughput > best_throughput:
+            best_throughput = report.throughput
+            best_load = load
+    return {
+        "peak_throughput": best_throughput,
+        "at_offered_load": best_load,
+        "points": points,
+    }

@@ -1,0 +1,423 @@
+"""Prebuilt experiment scenarios, one per table/figure of the evaluation.
+
+Every function returns plain dictionaries/lists so benchmarks can both print
+the paper-style rows and attach them to pytest-benchmark ``extra_info``.
+
+Scaling: the simulated deployments are necessarily smaller than the paper's
+(node counts, epoch length, NIC bandwidth and experiment duration are scaled
+down so a figure regenerates in seconds-to-minutes of wall clock).  The
+``scale`` parameter of :func:`default_scale` multiplies the node counts and
+durations; EXPERIMENTS.md records the exact settings used for the recorded
+results.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.mirbft import MirBFTNode
+from ..baselines.single_leader import single_leader_config, single_leader_policy
+from ..core.config import (
+    ISSConfig,
+    NetworkConfig,
+    WorkloadConfig,
+    PROTOCOL_HOTSTUFF,
+    PROTOCOL_PBFT,
+    PROTOCOL_RAFT,
+    POLICY_BACKOFF,
+    POLICY_BLACKLIST,
+    POLICY_SIMPLE,
+)
+from ..core.segment import LAYOUT_CONTIGUOUS, LAYOUT_ROUND_ROBIN
+from ..metrics.collector import RunReport
+from ..sim.faults import CrashSpec, StragglerSpec
+from ..workload.faults import epoch_end_crashes, epoch_start_crashes, stragglers
+from .runner import Deployment
+
+
+# ---------------------------------------------------------------------------
+# Scaled-down experiment parameters
+# ---------------------------------------------------------------------------
+
+#: NIC bandwidth used by the scaled-down experiments.  The paper rate-limits
+#: real NICs to 1 Gbps; the simulation scales this down (together with the
+#: offered load) so saturation happens at a few thousand requests per second,
+#: which keeps event counts tractable.  The throughput *shape* across
+#: configurations is preserved because every configuration shares the scale.
+SCALED_BANDWIDTH_BPS = 20e6
+
+#: Paper request payload (average Bitcoin transaction size).
+PAYLOAD_BYTES = 500
+
+
+def bench_scale() -> float:
+    """Global scale factor for benchmark sizes (env var ``REPRO_BENCH_SCALE``)."""
+    try:
+        return max(0.25, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
+    except ValueError:
+        return 1.0
+
+
+def scaled_network() -> NetworkConfig:
+    return NetworkConfig(bandwidth_bps=SCALED_BANDWIDTH_BPS)
+
+
+def iss_config(protocol: str, num_nodes: int, **overrides) -> ISSConfig:
+    """Scaled-down ISS configuration following the structure of Table 1."""
+    defaults = dict(
+        epoch_length=32,
+        max_batch_size=128,
+        batch_rate=16.0,
+        min_batch_timeout=0.0,
+        max_batch_timeout=1.0,
+        min_segment_size=2,
+        view_change_timeout=5.0,
+        epoch_change_timeout=5.0,
+        buckets_per_leader=16,
+        client_watermark_window=1 << 16,
+        send_client_responses=False,
+        client_signatures=True,
+        byzantine=True,
+    )
+    if protocol == PROTOCOL_HOTSTUFF:
+        defaults.update(batch_rate=None, min_batch_timeout=0.1, max_batch_timeout=0.0, min_segment_size=4)
+    if protocol == PROTOCOL_RAFT:
+        defaults.update(byzantine=False, client_signatures=False, min_segment_size=4,
+                        election_timeout=(5.0, 10.0))
+    defaults.update(overrides)
+    return ISSConfig(num_nodes=num_nodes, protocol=protocol, **defaults)
+
+
+def baseline_config(protocol: str, num_nodes: int, **overrides) -> ISSConfig:
+    """Scaled-down single-leader baseline configuration."""
+    defaults = dict(
+        epoch_length=32,
+        max_batch_size=128,
+        max_batch_timeout=1.0,
+        min_batch_timeout=0.0,
+        view_change_timeout=5.0,
+        epoch_change_timeout=5.0,
+        client_watermark_window=1 << 16,
+        send_client_responses=False,
+        client_signatures=True,
+    )
+    if protocol == PROTOCOL_HOTSTUFF:
+        defaults.update(min_batch_timeout=0.1, max_batch_timeout=0.0)
+    if protocol == PROTOCOL_RAFT:
+        defaults.update(client_signatures=False, election_timeout=(5.0, 10.0))
+    defaults.update(overrides)
+    return single_leader_config(protocol, num_nodes, **defaults)
+
+
+def _workload(rate: float, duration: float, clients: int = 8) -> WorkloadConfig:
+    return WorkloadConfig(
+        num_clients=clients,
+        total_rate=rate,
+        duration=duration,
+        payload_size=PAYLOAD_BYTES,
+    )
+
+
+def _run(
+    config: ISSConfig,
+    rate: float,
+    duration: float,
+    crash_specs: Sequence[CrashSpec] = (),
+    straggler_specs: Sequence[StragglerSpec] = (),
+    node_class=None,
+    policy_factory=None,
+    layout: str = LAYOUT_ROUND_ROBIN,
+    drain_time: float = 5.0,
+) -> RunReport:
+    kwargs = dict(
+        network_config=scaled_network(),
+        workload=_workload(rate, duration),
+        crash_specs=crash_specs,
+        straggler_specs=straggler_specs,
+        layout=layout,
+        drain_time=drain_time,
+    )
+    if node_class is not None:
+        kwargs["node_class"] = node_class
+    if policy_factory is not None:
+        kwargs["policy_factory"] = policy_factory
+    return Deployment(config, **kwargs).run().report
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — throughput scalability
+# ---------------------------------------------------------------------------
+
+def scalability_point(
+    system: str,
+    protocol: str,
+    num_nodes: int,
+    offered_loads: Sequence[float],
+    duration: float = 5.0,
+) -> Dict[str, object]:
+    """Peak throughput of one (system, protocol, n) point of Figure 5.
+
+    ``system`` is ``"iss"``, ``"single"`` or ``"mirbft"``.
+    """
+    best = {"throughput": 0.0, "offered": 0.0, "latency": 0.0}
+    for rate in offered_loads:
+        if system == "iss":
+            report = _run(iss_config(protocol, num_nodes), rate, duration)
+        elif system == "single":
+            config = baseline_config(protocol, num_nodes)
+            report = _run(
+                config, rate, duration, policy_factory=lambda c: single_leader_policy(c)
+            )
+        elif system == "mirbft":
+            report = _run(iss_config(protocol, num_nodes), rate, duration, node_class=MirBFTNode)
+        else:
+            raise ValueError(f"unknown system {system!r}")
+        if report.throughput > best["throughput"]:
+            best = {
+                "throughput": report.throughput,
+                "offered": rate,
+                "latency": report.latency.mean,
+            }
+    return {
+        "system": system,
+        "protocol": protocol,
+        "nodes": num_nodes,
+        "peak_throughput": best["throughput"],
+        "at_offered_load": best["offered"],
+        "latency_at_peak": best["latency"],
+    }
+
+
+def scalability_sweep(
+    node_counts: Sequence[int] = (4, 8, 16),
+    protocols: Sequence[str] = (PROTOCOL_PBFT, PROTOCOL_HOTSTUFF, PROTOCOL_RAFT),
+    offered_loads: Sequence[float] = (1000.0, 2000.0),
+    duration: float = 5.0,
+    include_mirbft: bool = True,
+) -> List[Dict[str, object]]:
+    """Full Figure 5 sweep: ISS vs single-leader (vs Mir-BFT for PBFT)."""
+    rows: List[Dict[str, object]] = []
+    for protocol in protocols:
+        for n in node_counts:
+            rows.append(scalability_point("iss", protocol, n, offered_loads, duration))
+            rows.append(scalability_point("single", protocol, n, offered_loads, duration))
+        if include_mirbft and protocol == PROTOCOL_PBFT:
+            for n in node_counts:
+                rows.append(scalability_point("mirbft", protocol, n, offered_loads, duration))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — latency vs throughput under increasing load
+# ---------------------------------------------------------------------------
+
+def latency_throughput_sweep(
+    protocol: str,
+    num_nodes: int,
+    offered_loads: Sequence[float],
+    duration: float = 5.0,
+    single_leader: bool = False,
+) -> List[Dict[str, object]]:
+    """One latency-over-throughput curve of Figure 6."""
+    rows = []
+    for rate in offered_loads:
+        if single_leader:
+            config = baseline_config(protocol, num_nodes)
+            report = _run(config, rate, duration, policy_factory=lambda c: single_leader_policy(c))
+        else:
+            report = _run(iss_config(protocol, num_nodes), rate, duration)
+        rows.append(
+            {
+                "system": "single" if single_leader else "iss",
+                "protocol": protocol,
+                "nodes": num_nodes,
+                "offered_load": rate,
+                "throughput": report.throughput,
+                "latency_mean": report.latency.mean,
+                "latency_p95": report.latency.p95,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — leader-selection policies under crash faults
+# ---------------------------------------------------------------------------
+
+def leader_policy_comparison(
+    num_nodes: int = 8,
+    rate: float = 800.0,
+    duration: float = 30.0,
+    crash_kind: str = "epoch-start",
+    policies: Sequence[str] = (POLICY_SIMPLE, POLICY_BACKOFF, POLICY_BLACKLIST),
+) -> List[Dict[str, object]]:
+    """Mean / tail latency per leader-selection policy with one crash."""
+    rows = []
+    for policy in policies:
+        config = iss_config(PROTOCOL_PBFT, num_nodes, leader_policy=policy)
+        if crash_kind == "epoch-start":
+            crashes = epoch_start_crashes(1, num_nodes, epoch=0)
+        else:
+            crashes = epoch_end_crashes(1, num_nodes, epoch=0)
+        report = _run(config, rate, duration, crash_specs=crashes)
+        rows.append(
+            {
+                "policy": policy,
+                "crash": crash_kind,
+                "latency_mean": report.latency.mean,
+                "latency_p95": report.latency.p95,
+                "throughput": report.throughput,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — crash-fault latency over experiment duration
+# ---------------------------------------------------------------------------
+
+def crash_latency_over_duration(
+    num_nodes: int = 8,
+    rate: float = 800.0,
+    durations: Sequence[float] = (20.0, 40.0, 60.0),
+    fault_counts: Sequence[int] = (0, 1, 2),
+    crash_kind: str = "epoch-start",
+) -> List[Dict[str, object]]:
+    """Mean/p95 latency as the experiment duration grows (Blacklist policy)."""
+    rows = []
+    for count in fault_counts:
+        for duration in durations:
+            if count == 0:
+                crashes: Sequence[CrashSpec] = ()
+            elif crash_kind == "epoch-start":
+                crashes = epoch_start_crashes(count, num_nodes, epoch=0)
+            else:
+                crashes = epoch_end_crashes(count, num_nodes, epoch=0)
+            config = iss_config(PROTOCOL_PBFT, num_nodes, leader_policy=POLICY_BLACKLIST)
+            report = _run(config, rate, duration, crash_specs=crashes)
+            rows.append(
+                {
+                    "faults": count,
+                    "crash": crash_kind if count else "none",
+                    "duration": duration,
+                    "latency_mean": report.latency.mean,
+                    "latency_p95": report.latency.p95,
+                    "throughput": report.throughput,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 9, 10, 12 — throughput over time
+# ---------------------------------------------------------------------------
+
+def throughput_timeline(
+    num_nodes: int = 8,
+    rate: float = 800.0,
+    duration: float = 40.0,
+    crash_kind: Optional[str] = None,
+    straggler_count: int = 0,
+    straggler_delay: float = 2.5,
+    mirbft: bool = False,
+) -> Dict[str, object]:
+    """Per-second delivered throughput, optionally under a crash or straggler."""
+    crashes: Sequence[CrashSpec] = ()
+    if crash_kind == "epoch-start":
+        crashes = epoch_start_crashes(1, num_nodes, epoch=0)
+    elif crash_kind == "epoch-end":
+        crashes = epoch_end_crashes(1, num_nodes, epoch=0)
+    straggler_specs = stragglers(straggler_count, num_nodes, delay=straggler_delay) if straggler_count else ()
+    config = iss_config(PROTOCOL_PBFT, num_nodes)
+    report = _run(
+        config,
+        rate,
+        duration,
+        crash_specs=crashes,
+        straggler_specs=straggler_specs,
+        node_class=MirBFTNode if mirbft else None,
+    )
+    return {
+        "system": "mirbft" if mirbft else "iss",
+        "crash": crash_kind or "none",
+        "stragglers": straggler_count,
+        "throughput": report.throughput,
+        "latency_mean": report.latency.mean,
+        "timeline": report.throughput_timeline,
+        "extra": report.extra,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — latency/throughput with Byzantine stragglers
+# ---------------------------------------------------------------------------
+
+def straggler_sweep(
+    num_nodes: int = 8,
+    straggler_counts: Sequence[int] = (0, 1, 2),
+    rate: float = 800.0,
+    duration: float = 30.0,
+    straggler_delay: float = 2.5,
+) -> List[Dict[str, object]]:
+    """Throughput and latency as the number of stragglers grows."""
+    rows = []
+    for count in straggler_counts:
+        specs = stragglers(count, num_nodes, delay=straggler_delay) if count else ()
+        config = iss_config(PROTOCOL_PBFT, num_nodes)
+        report = _run(config, rate, duration, straggler_specs=specs)
+        rows.append(
+            {
+                "stragglers": count,
+                "throughput": report.throughput,
+                "latency_mean": report.latency.mean,
+                "latency_p95": report.latency.p95,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Ablations (DESIGN.md §6)
+# ---------------------------------------------------------------------------
+
+def layout_ablation(
+    num_nodes: int = 8, rate: float = 800.0, duration: float = 10.0
+) -> List[Dict[str, object]]:
+    """Round-robin vs contiguous sequence-number interleaving."""
+    rows = []
+    for layout in (LAYOUT_ROUND_ROBIN, LAYOUT_CONTIGUOUS):
+        config = iss_config(PROTOCOL_PBFT, num_nodes)
+        report = _run(config, rate, duration, layout=layout)
+        rows.append(
+            {
+                "layout": layout,
+                "throughput": report.throughput,
+                "latency_mean": report.latency.mean,
+                "latency_p95": report.latency.p95,
+            }
+        )
+    return rows
+
+
+def epoch_length_ablation(
+    num_nodes: int = 8,
+    epoch_lengths: Sequence[int] = (16, 32, 64),
+    rate: float = 800.0,
+    duration: float = 10.0,
+) -> List[Dict[str, object]]:
+    """Throughput/latency sensitivity to the epoch length."""
+    rows = []
+    for epoch_length in epoch_lengths:
+        config = iss_config(PROTOCOL_PBFT, num_nodes, epoch_length=epoch_length)
+        report = _run(config, rate, duration)
+        rows.append(
+            {
+                "epoch_length": epoch_length,
+                "throughput": report.throughput,
+                "latency_mean": report.latency.mean,
+                "epochs_completed": report.extra.get("epochs_completed", 0.0),
+            }
+        )
+    return rows

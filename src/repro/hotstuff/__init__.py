@@ -1,0 +1,16 @@
+"""Chained-HotStuff Sequenced-Broadcast implementation."""
+
+from .messages import Block, Proposal, Vote, NewRound, QuorumCertificate, GENESIS_QC, GENESIS_DIGEST
+from .hotstuff import HotStuffSB, PIPELINE_FLUSH_BLOCKS
+
+__all__ = [
+    "HotStuffSB",
+    "Block",
+    "Proposal",
+    "Vote",
+    "NewRound",
+    "QuorumCertificate",
+    "GENESIS_QC",
+    "GENESIS_DIGEST",
+    "PIPELINE_FLUSH_BLOCKS",
+]

@@ -1,0 +1,14 @@
+"""Throughput/latency measurement and report formatting."""
+
+from .collector import MetricsCollector, RunReport, LatencySummary
+from .report import format_table, format_series, speedup, print_banner
+
+__all__ = [
+    "MetricsCollector",
+    "RunReport",
+    "LatencySummary",
+    "format_table",
+    "format_series",
+    "speedup",
+    "print_banner",
+]

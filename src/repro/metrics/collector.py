@@ -1,0 +1,146 @@
+"""Measurement of throughput and end-to-end latency.
+
+The paper measures *throughput* as requests delivered per second and
+*end-to-end latency* as the time from a client submitting a request until it
+receives ``f+1`` responses (Section 6.1).  The collector supports both the
+full client-response path and the cheaper centralised equivalent: a request
+counts as completed the moment ``f+1`` distinct nodes have delivered it,
+which is exactly when the client-side quorum of responses becomes possible
+(minus one network hop that is identical for all configurations).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.types import DeliveredRequest, NodeId, Request, RequestId
+
+
+@dataclass
+class LatencySummary:
+    """Latency statistics in seconds."""
+
+    count: int = 0
+    mean: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    maximum: float = 0.0
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            return LatencySummary()
+        ordered = sorted(samples)
+        return LatencySummary(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+            maximum=ordered[-1],
+        )
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+@dataclass
+class RunReport:
+    """Everything a benchmark needs from one experiment run."""
+
+    duration: float
+    submitted: int
+    completed: int
+    throughput: float
+    latency: LatencySummary
+    #: Requests completed per one-second interval (Figure 9/10/12 style).
+    throughput_timeline: List[Tuple[float, float]] = field(default_factory=list)
+    #: Free-form counters (view changes, epochs, traffic...).
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class MetricsCollector:
+    """Collects submissions and deliveries and turns them into a report."""
+
+    def __init__(self, completion_quorum: int, warmup: float = 0.0):
+        if completion_quorum < 1:
+            raise ValueError("completion_quorum must be >= 1")
+        self.completion_quorum = completion_quorum
+        self.warmup = warmup
+        self._submit_times: Dict[RequestId, float] = {}
+        self._delivery_nodes: Dict[RequestId, set] = {}
+        self._completion_times: Dict[RequestId, float] = {}
+        self._latencies: List[float] = []
+        self._completion_timestamps: List[float] = []
+        self.deliveries_observed = 0
+
+    # ------------------------------------------------------------ recording
+    def record_submit(self, rid: RequestId, time: float) -> None:
+        self._submit_times.setdefault(rid, time)
+
+    def record_delivery(self, node_id: NodeId, delivered: DeliveredRequest) -> None:
+        """Feed one node's SMR-DELIVER event (wired as the node's on_deliver)."""
+        self.deliveries_observed += 1
+        rid = delivered.request.rid
+        if rid in self._completion_times:
+            return
+        nodes = self._delivery_nodes.setdefault(rid, set())
+        nodes.add(node_id)
+        if len(nodes) >= self.completion_quorum:
+            self._complete(rid, delivered.delivered_at)
+
+    def record_client_completion(
+        self, client_id: int, request: Request, submitted_at: float, completed_at: float
+    ) -> None:
+        """Alternative completion source: the client collected f+1 responses."""
+        self._submit_times.setdefault(request.rid, submitted_at)
+        self._complete(request.rid, completed_at)
+
+    def _complete(self, rid: RequestId, time: float) -> None:
+        if rid in self._completion_times:
+            return
+        self._completion_times[rid] = time
+        submit = self._submit_times.get(rid)
+        if submit is None or submit < self.warmup:
+            return
+        self._latencies.append(time - submit)
+        self._completion_timestamps.append(time)
+
+    # ------------------------------------------------------------ reporting
+    def completed_count(self) -> int:
+        return len(self._latencies)
+
+    def submitted_count(self) -> int:
+        return sum(1 for t in self._submit_times.values() if t >= self.warmup)
+
+    def throughput_timeline(self, duration: float, bucket: float = 1.0) -> List[Tuple[float, float]]:
+        """Requests completed per ``bucket`` seconds over the run."""
+        if duration <= 0:
+            return []
+        buckets = int(math.ceil(duration / bucket))
+        counts = [0] * buckets
+        for time in self._completion_timestamps:
+            index = int((time - self.warmup) // bucket) if time >= self.warmup else -1
+            if 0 <= index < buckets:
+                counts[index] += 1
+        return [(self.warmup + (i + 1) * bucket, counts[i] / bucket) for i in range(buckets)]
+
+    def report(self, duration: float, extra: Optional[Dict[str, float]] = None) -> RunReport:
+        measured = max(1e-9, duration - self.warmup)
+        completed = len(self._latencies)
+        return RunReport(
+            duration=duration,
+            submitted=self.submitted_count(),
+            completed=completed,
+            throughput=completed / measured,
+            latency=LatencySummary.from_samples(self._latencies),
+            throughput_timeline=self.throughput_timeline(measured),
+            extra=dict(extra or {}),
+        )

@@ -1,0 +1,14 @@
+"""PBFT Sequenced-Broadcast implementation."""
+
+from .messages import PrePrepare, Prepare, Commit, ViewChange, NewView, PreparedProof
+from .pbft import PbftSB
+
+__all__ = [
+    "PbftSB",
+    "PrePrepare",
+    "Prepare",
+    "Commit",
+    "ViewChange",
+    "NewView",
+    "PreparedProof",
+]

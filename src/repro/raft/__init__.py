@@ -1,0 +1,16 @@
+"""Raft Sequenced-Broadcast implementation (crash fault tolerant)."""
+
+from .messages import AppendEntries, AppendReply, RaftEntry, RequestVote, VoteReply
+from .raft import RaftSB, FOLLOWER, CANDIDATE, LEADER
+
+__all__ = [
+    "RaftSB",
+    "AppendEntries",
+    "AppendReply",
+    "RaftEntry",
+    "RequestVote",
+    "VoteReply",
+    "FOLLOWER",
+    "CANDIDATE",
+    "LEADER",
+]

@@ -1,0 +1,69 @@
+"""Raft protocol messages (per Sequenced-Broadcast instance)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.types import LogEntry, SeqNr, is_nil
+
+
+@dataclass(frozen=True)
+class RaftEntry:
+    """One replicated log entry: a batch (or ⊥) destined for ISS position ``sn``."""
+
+    term: int
+    sn: SeqNr
+    value: LogEntry
+
+    def payload_size(self) -> int:
+        if self.value is None or is_nil(self.value):
+            return 1
+        return self.value.size_bytes()
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    """Leader → follower replication message (also the heartbeat when empty)."""
+
+    term: int
+    prev_index: int
+    prev_term: int
+    entries: Tuple[RaftEntry, ...]
+    leader_commit: int
+
+    def wire_size(self) -> int:
+        return 64 + sum(24 + e.payload_size() for e in self.entries)
+
+
+@dataclass(frozen=True)
+class AppendReply:
+    """Follower acknowledgement; ``match_index`` is the highest matching entry."""
+
+    term: int
+    success: bool
+    match_index: int
+
+    def wire_size(self) -> int:
+        return 48
+
+
+@dataclass(frozen=True)
+class RequestVote:
+    """Candidate's vote solicitation."""
+
+    term: int
+    last_log_index: int
+    last_log_term: int
+
+    def wire_size(self) -> int:
+        return 48
+
+
+@dataclass(frozen=True)
+class VoteReply:
+    term: int
+    granted: bool
+
+    def wire_size(self) -> int:
+        return 32

@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate: event loop, WAN model, fault injection."""
+
+from .simulator import Simulator, Timer, SimulationError
+from .latency import LatencyModel, DATACENTER_NAMES
+from .network import Network, NetworkStats, wire_size
+from .faults import (
+    CrashSpec,
+    StragglerSpec,
+    FaultInjector,
+    CRASH_AT_TIME,
+    CRASH_EPOCH_START,
+    CRASH_EPOCH_END,
+)
+
+__all__ = [
+    "Simulator",
+    "Timer",
+    "SimulationError",
+    "LatencyModel",
+    "DATACENTER_NAMES",
+    "Network",
+    "NetworkStats",
+    "wire_size",
+    "CrashSpec",
+    "StragglerSpec",
+    "FaultInjector",
+    "CRASH_AT_TIME",
+    "CRASH_EPOCH_START",
+    "CRASH_EPOCH_END",
+]

@@ -1,0 +1,131 @@
+"""Fault-injection primitives for the simulated network.
+
+Two kinds of faults matter for the paper's evaluation (Section 6.4):
+
+* **Crash faults** — a node stops participating entirely.  The evaluation
+  distinguishes *epoch-start* crashes (the leader dies right when an epoch
+  begins, a worst case for the number of proposed sequence numbers) and
+  *epoch-end* crashes (the leader dies just before proposing its last
+  sequence number, a worst case for epoch duration).
+* **Byzantine stragglers** — a leader delays its proposals as much as
+  possible without getting suspected and proposes empty batches, harming
+  latency and throughput without triggering the failure detector.
+
+Crash scheduling lives here (it is purely a network/timing concern);
+straggler behaviour is implemented inside the ISS node
+(:class:`repro.core.iss.ISSNode` honours a :class:`StragglerBehaviour`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.types import EpochNr, NodeId
+from .network import Network
+from .simulator import Simulator
+
+#: Crash trigger positions used by the evaluation.
+CRASH_AT_TIME = "at-time"
+CRASH_EPOCH_START = "epoch-start"
+CRASH_EPOCH_END = "epoch-end"
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Description of a single crash fault.
+
+    ``trigger`` selects how the crash is anchored:
+
+    * ``"at-time"`` — crash at absolute virtual time ``time``.
+    * ``"epoch-start"`` — crash as soon as ``epoch`` starts at the victim.
+    * ``"epoch-end"`` — crash right before the victim proposes the last
+      sequence number of its segment in ``epoch``.
+    """
+
+    node: NodeId
+    trigger: str = CRASH_AT_TIME
+    time: float = 0.0
+    epoch: EpochNr = 0
+
+    def __post_init__(self) -> None:
+        if self.trigger not in (CRASH_AT_TIME, CRASH_EPOCH_START, CRASH_EPOCH_END):
+            raise ValueError(f"unknown crash trigger {self.trigger!r}")
+
+
+@dataclass(frozen=True)
+class StragglerSpec:
+    """Description of a Byzantine straggler.
+
+    The straggler delays every proposal by ``delay`` seconds (the paper uses
+    0.5x the epoch-change timeout, i.e. 5 s) and proposes empty batches.
+    """
+
+    node: NodeId
+    #: Delay before each proposal; the paper's straggler sends an empty
+    #: proposal every 0.5 * epoch_change_timeout.
+    delay: float = 5.0
+    #: Whether the straggler strips all requests from its proposals.
+    propose_empty: bool = True
+
+
+class FaultInjector:
+    """Applies :class:`CrashSpec` schedules to a running deployment.
+
+    Epoch-anchored crashes need a hook into the victim's ISS node to learn
+    when the epoch starts / when its last proposal is about to go out; the
+    harness wires those callbacks via :meth:`attach_epoch_hooks`.
+    """
+
+    def __init__(self, sim: Simulator, network: Network):
+        self.sim = sim
+        self.network = network
+        self._crash_specs: List[CrashSpec] = []
+        self._crashed: List[NodeId] = []
+        self._epoch_start_watch: Dict[NodeId, List[CrashSpec]] = {}
+        self._epoch_end_watch: Dict[NodeId, List[CrashSpec]] = {}
+        #: Called right after a node is crashed (e.g. to stop its timers).
+        self.on_crash: Optional[Callable[[NodeId], None]] = None
+
+    # ------------------------------------------------------------- schedule
+    def schedule(self, spec: CrashSpec) -> None:
+        self._crash_specs.append(spec)
+        if spec.trigger == CRASH_AT_TIME:
+            self.sim.schedule_at(spec.time, lambda: self.crash_now(spec.node))
+        elif spec.trigger == CRASH_EPOCH_START:
+            self._epoch_start_watch.setdefault(spec.node, []).append(spec)
+        else:
+            self._epoch_end_watch.setdefault(spec.node, []).append(spec)
+
+    def schedule_all(self, specs: Sequence[CrashSpec]) -> None:
+        for spec in specs:
+            self.schedule(spec)
+
+    # ---------------------------------------------------------------- hooks
+    def notify_epoch_start(self, node: NodeId, epoch: EpochNr) -> None:
+        """Called by the ISS node when ``epoch`` starts locally."""
+        for spec in self._epoch_start_watch.get(node, []):
+            if spec.epoch == epoch and node not in self._crashed:
+                self.crash_now(node)
+
+    def notify_last_proposal(self, node: NodeId, epoch: EpochNr) -> bool:
+        """Called by the ISS node right before sending its last proposal of
+        ``epoch``.  Returns True when the node was crashed (the proposal
+        must then be suppressed)."""
+        for spec in self._epoch_end_watch.get(node, []):
+            if spec.epoch == epoch and node not in self._crashed:
+                self.crash_now(node)
+                return True
+        return False
+
+    # ---------------------------------------------------------------- crash
+    def crash_now(self, node: NodeId) -> None:
+        if node in self._crashed:
+            return
+        self._crashed.append(node)
+        self.network.crash(node)
+        if self.on_crash is not None:
+            self.on_crash(node)
+
+    def crashed_nodes(self) -> Sequence[NodeId]:
+        return tuple(self._crashed)

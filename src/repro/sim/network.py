@@ -1,0 +1,212 @@
+"""Simulated message-passing network with bandwidth and latency modelling.
+
+The network reproduces the resource that drives the paper's scalability
+result: every node owns a network interface with finite bandwidth
+(1 Gbps in the paper's testbed) on which outgoing messages are *serialised*.
+A single leader that must push a batch to ``n-1`` followers therefore pays
+``(n-1) * batch_bytes / bandwidth`` of NIC time per decision, which is what
+caps single-leader throughput at roughly ``1/n``.  ISS spreads proposals over
+many leaders, so the aggregate NIC capacity grows with ``n``.
+
+Messages are delivered point-to-point with a WAN propagation latency drawn
+from :class:`repro.sim.latency.LatencyModel` plus optional jitter, and can be
+dropped or blocked by crash faults and partitions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.config import NetworkConfig
+from ..core.types import NodeId
+from .latency import LatencyModel
+from .simulator import Simulator
+
+#: A message handler registered by an endpoint: ``handler(src, message)``.
+MessageHandler = Callable[[NodeId, object], None]
+
+#: Optional filter applied to every message: return False to drop it.
+#: Signature: ``fn(src, dst, message) -> bool``.
+LinkFilter = Callable[[NodeId, NodeId, object], bool]
+
+
+def wire_size(message: object) -> int:
+    """Best-effort estimate of a message's wire size in bytes.
+
+    Protocol messages expose ``wire_size()``; payload-carrying objects expose
+    ``size_bytes()``.  Anything else is charged a small fixed header, which
+    matches the digest-sized votes most protocols exchange.
+    """
+    size_fn = getattr(message, "wire_size", None)
+    if callable(size_fn):
+        return int(size_fn())
+    size_fn = getattr(message, "size_bytes", None)
+    if callable(size_fn):
+        return int(size_fn())
+    return 96
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic statistics, useful for complexity assertions in tests."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    per_node_bytes_sent: Dict[NodeId, int] = field(default_factory=dict)
+    per_node_messages_sent: Dict[NodeId, int] = field(default_factory=dict)
+
+    def record_send(self, src: NodeId, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.per_node_bytes_sent[src] = self.per_node_bytes_sent.get(src, 0) + size
+        self.per_node_messages_sent[src] = self.per_node_messages_sent.get(src, 0) + 1
+
+
+class Network:
+    """Point-to-point authenticated-channel network simulation.
+
+    Endpoints (nodes and clients) register a handler; ``send`` models NIC
+    serialisation at the sender, propagation latency, jitter, and a small
+    processing delay at the receiver before invoking the handler inside the
+    discrete-event simulator.
+    """
+
+    def __init__(self, sim: Simulator, config: NetworkConfig, latency: LatencyModel):
+        config.validate()
+        self.sim = sim
+        self.config = config
+        self.latency = latency
+        self._rng = random.Random(config.random_seed ^ 0x5EED)
+        self._handlers: Dict[NodeId, MessageHandler] = {}
+        #: Virtual time at which each endpoint's NIC becomes free again.
+        self._nic_free_at: Dict[NodeId, float] = {}
+        self._crashed: Set[NodeId] = set()
+        #: Current partition: a node-to-group mapping; messages across groups drop.
+        self._partition_group: Dict[NodeId, int] = {}
+        self._link_filters: List[LinkFilter] = []
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------ membership
+    def register(self, endpoint: NodeId, handler: MessageHandler) -> None:
+        """Register an endpoint.  Re-registering replaces the handler."""
+        self._handlers[endpoint] = handler
+        self._nic_free_at.setdefault(endpoint, 0.0)
+
+    def unregister(self, endpoint: NodeId) -> None:
+        self._handlers.pop(endpoint, None)
+
+    def endpoints(self) -> Iterable[NodeId]:
+        return self._handlers.keys()
+
+    # ---------------------------------------------------------------- faults
+    def crash(self, node: NodeId) -> None:
+        """Crash an endpoint: it stops sending and receiving permanently
+        (until :meth:`recover`)."""
+        self._crashed.add(node)
+
+    def recover(self, node: NodeId) -> None:
+        self._crashed.discard(node)
+
+    def is_crashed(self, node: NodeId) -> bool:
+        return node in self._crashed
+
+    def partition(self, groups: Iterable[Iterable[NodeId]]) -> None:
+        """Partition endpoints into isolated groups; inter-group traffic drops.
+
+        Endpoints not mentioned in any group stay fully connected to each
+        other and to the *first* group (group 0), mirroring the common
+        "minority cut off" scenario.
+        """
+        self._partition_group = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                self._partition_group[node] = index
+
+    def heal_partition(self) -> None:
+        self._partition_group = {}
+
+    def add_link_filter(self, fn: LinkFilter) -> None:
+        """Install a message filter (drop/allow) evaluated on every send."""
+        self._link_filters.append(fn)
+
+    def clear_link_filters(self) -> None:
+        self._link_filters.clear()
+
+    def _blocked_by_partition(self, src: NodeId, dst: NodeId) -> bool:
+        if not self._partition_group:
+            return False
+        group_src = self._partition_group.get(src, 0)
+        group_dst = self._partition_group.get(dst, 0)
+        return group_src != group_dst
+
+    # ------------------------------------------------------------------ send
+    def send(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: object,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        """Send ``message`` from ``src`` to ``dst``.
+
+        The call returns immediately; delivery (if any) happens later in
+        virtual time.  Sends from or to crashed endpoints, across partitions,
+        through vetoing link filters, or hit by random drops are silently
+        discarded — exactly what an unreliable asynchronous network does.
+        """
+        size = size_bytes if size_bytes is not None else wire_size(message)
+        self.stats.record_send(src, size)
+
+        if src in self._crashed or dst in self._crashed:
+            self.stats.messages_dropped += 1
+            return
+        if self._blocked_by_partition(src, dst):
+            self.stats.messages_dropped += 1
+            return
+        for fn in self._link_filters:
+            if not fn(src, dst, message):
+                self.stats.messages_dropped += 1
+                return
+        if self.config.drop_rate > 0 and self._rng.random() < self.config.drop_rate:
+            self.stats.messages_dropped += 1
+            return
+
+        # NIC serialisation at the sender: back-to-back messages queue up.
+        transmission = (size * 8) / self.config.bandwidth_bps
+        nic_free = max(self._nic_free_at.get(src, 0.0), self.sim.now)
+        departure = nic_free + transmission
+        self._nic_free_at[src] = departure
+
+        if src == dst:
+            arrival = departure
+        else:
+            propagation = self.latency.sample_latency(src, dst, self._rng)
+            arrival = departure + propagation + self.config.processing_delay
+
+        self.sim.schedule_at(arrival, lambda: self._deliver(src, dst, message))
+
+    def multicast(self, src: NodeId, dsts: Iterable[NodeId], message: object) -> None:
+        """Send the same message to every destination (each pays NIC time)."""
+        size = wire_size(message)
+        for dst in dsts:
+            self.send(src, dst, message, size_bytes=size)
+
+    def _deliver(self, src: NodeId, dst: NodeId, message: object) -> None:
+        if dst in self._crashed or src in self._crashed:
+            self.stats.messages_dropped += 1
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        handler(src, message)
+
+    # ------------------------------------------------------------- utilities
+    def nic_backlog(self, node: NodeId) -> float:
+        """Seconds of queued transmission time remaining on a node's NIC."""
+        return max(0.0, self._nic_free_at.get(node, 0.0) - self.sim.now)

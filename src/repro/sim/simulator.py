@@ -1,0 +1,141 @@
+"""Deterministic discrete-event simulator.
+
+All ISS components run on top of this event loop instead of real threads and
+sockets.  Virtual time is a float in seconds.  Determinism matters: given the
+same seeds and configuration, every run produces the same schedule, which the
+test suite relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulator (e.g. scheduling in the past)."""
+
+
+class _Event:
+    """Queue entry; ordering is handled by the (time, seq) heap tuple."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation and rescheduling."""
+
+    def __init__(self, sim: "Simulator", event: _Event):
+        self._sim = sim
+        self._event = event
+
+    @property
+    def fire_time(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled and self._event.time >= self._sim.now
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    def reset(self, delay: float) -> "Timer":
+        """Cancel this timer and schedule the same callback ``delay`` from now."""
+        self.cancel()
+        new = self._sim.schedule(delay, self._event.callback)
+        self._event = new._event
+        return self
+
+
+class Simulator:
+    """A minimal but complete discrete-event scheduler.
+
+    Typical usage::
+
+        sim = Simulator(seed=1)
+        sim.schedule(0.5, lambda: print("hello at t=0.5"))
+        sim.run(until=10.0)
+    """
+
+    def __init__(self, seed: int = 0):
+        #: Heap of ``(time, seq, event)`` tuples; float/int comparison keeps
+        #: heap operations cheap even with millions of events.
+        self._queue: List[tuple] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.rng = random.Random(seed)
+        #: Number of events executed so far (useful for profiling tests).
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -------------------------------------------------------------- schedule
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        event = _Event(self._now + delay, next(self._counter), callback)
+        heapq.heappush(self._queue, (event.time, event.seq, event))
+        return Timer(self, event)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        return self.schedule(max(0.0, time - self._now), callback)
+
+    def call_soon(self, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` at the current time (after pending events)."""
+        return self.schedule(0.0, callback)
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.  Returns the final virtual time."""
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0][2]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = max(self._now, event.time)
+                event.callback()
+                self.events_executed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            if until is not None and (not self._queue or self._peek_time() > until):
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain (bounded by ``max_events`` as a safety net)."""
+        return self.run(max_events=max_events)
+
+    def _peek_time(self) -> float:
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for _t, _s, e in self._queue if not e.cancelled)

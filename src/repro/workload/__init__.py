@@ -1,0 +1,12 @@
+"""Workload generation and fault schedules for experiments."""
+
+from .generator import WorkloadGenerator
+from .faults import epoch_start_crashes, epoch_end_crashes, crashes_at, stragglers
+
+__all__ = [
+    "WorkloadGenerator",
+    "epoch_start_crashes",
+    "epoch_end_crashes",
+    "crashes_at",
+    "stragglers",
+]

@@ -1,0 +1,62 @@
+"""Fault-schedule builders for the evaluation scenarios (Section 6.4).
+
+Thin convenience layer over :mod:`repro.sim.faults`: the crash and straggler
+*specifications* live there (they are a simulation concern); this module
+builds the particular schedules the paper's figures use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..sim.faults import (
+    CRASH_AT_TIME,
+    CRASH_EPOCH_END,
+    CRASH_EPOCH_START,
+    CrashSpec,
+    StragglerSpec,
+)
+from ..core.types import NodeId
+
+
+def epoch_start_crashes(count: int, num_nodes: int, epoch: int = 0) -> List[CrashSpec]:
+    """``count`` leaders crash at the beginning of ``epoch`` (Figure 7/8/9a).
+
+    Victims are the highest-numbered nodes so that node 0 (which examples and
+    tests often inspect) stays alive; any choice of victims is equivalent.
+    """
+    _check_count(count, num_nodes)
+    victims = [num_nodes - 1 - i for i in range(count)]
+    return [CrashSpec(node=v, trigger=CRASH_EPOCH_START, epoch=epoch) for v in victims]
+
+
+def epoch_end_crashes(count: int, num_nodes: int, epoch: int = 0) -> List[CrashSpec]:
+    """``count`` leaders crash right before their last proposal of ``epoch``."""
+    _check_count(count, num_nodes)
+    victims = [num_nodes - 1 - i for i in range(count)]
+    return [CrashSpec(node=v, trigger=CRASH_EPOCH_END, epoch=epoch) for v in victims]
+
+
+def crashes_at(times: Sequence[float], num_nodes: int) -> List[CrashSpec]:
+    """One crash per entry of ``times``, victims counted down from the top."""
+    _check_count(len(times), num_nodes)
+    return [
+        CrashSpec(node=num_nodes - 1 - i, trigger=CRASH_AT_TIME, time=t)
+        for i, t in enumerate(times)
+    ]
+
+
+def stragglers(count: int, num_nodes: int, delay: float = 5.0) -> List[StragglerSpec]:
+    """``count`` Byzantine stragglers delaying proposals by ``delay`` seconds
+    (the paper uses 0.5 × epoch-change timeout = 5 s) and proposing empty
+    batches (Figure 11/12)."""
+    _check_count(count, num_nodes)
+    victims = [num_nodes - 1 - i for i in range(count)]
+    return [StragglerSpec(node=v, delay=delay, propose_empty=True) for v in victims]
+
+
+def _check_count(count: int, num_nodes: int) -> None:
+    if count < 0:
+        raise ValueError("fault count must be non-negative")
+    if count >= num_nodes:
+        raise ValueError("cannot fault every node")

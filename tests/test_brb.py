@@ -1,0 +1,117 @@
+"""Unit tests for Byzantine reliable broadcast (Bracha)."""
+
+from typing import Dict, List
+
+import pytest
+
+from repro.consensus.brb import BrbEcho, BrbReady, BrbSend, ReliableBroadcast
+
+
+class BrbHarness:
+    """Direct-wired BRB instances with a controllable message queue."""
+
+    def __init__(self, num_nodes=4, max_faulty=1, sender=0):
+        self.num_nodes = num_nodes
+        self.delivered: Dict[int, List[object]] = {n: [] for n in range(num_nodes)}
+        self.queue: List[tuple] = []
+        self.blocked = set()
+        self.instances = {
+            node: ReliableBroadcast(
+                instance="test",
+                node_id=node,
+                sender=sender,
+                num_nodes=num_nodes,
+                max_faulty=max_faulty,
+                broadcast_fn=lambda msg, node=node: self._broadcast(node, msg),
+                deliver_fn=lambda payload, node=node: self.delivered[node].append(payload),
+            )
+            for node in range(num_nodes)
+        }
+
+    def _broadcast(self, src, message):
+        for dst in range(self.num_nodes):
+            self.queue.append((src, dst, message))
+
+    def flush(self):
+        while self.queue:
+            src, dst, message = self.queue.pop(0)
+            if src in self.blocked or dst in self.blocked:
+                continue
+            self.instances[dst].handle_message(src, message)
+
+
+class TestReliableBroadcast:
+    def test_all_correct_nodes_deliver_senders_payload(self):
+        harness = BrbHarness()
+        harness.instances[0].brb_cast("payload")
+        harness.flush()
+        for node in range(4):
+            assert harness.delivered[node] == ["payload"]
+
+    def test_no_duplication(self):
+        harness = BrbHarness()
+        harness.instances[0].brb_cast("payload")
+        harness.flush()
+        harness.instances[0].brb_cast("payload")
+        harness.flush()
+        for node in range(4):
+            assert len(harness.delivered[node]) == 1
+
+    def test_only_designated_sender_can_cast(self):
+        harness = BrbHarness(sender=0)
+        with pytest.raises(PermissionError):
+            harness.instances[1].brb_cast("x")
+
+    def test_nothing_delivered_without_cast(self):
+        harness = BrbHarness()
+        harness.flush()
+        assert all(not delivered for delivered in harness.delivered.values())
+
+    def test_totality_with_crashed_sender_after_send(self):
+        """The sender crashing right after SEND does not prevent delivery."""
+        harness = BrbHarness()
+        harness.instances[0].brb_cast("v")
+        # Deliver the initial SEND to everyone, then crash the sender: its
+        # own ECHO/READY messages are lost, the three correct nodes suffice.
+        initial_sends = [entry for entry in harness.queue if isinstance(entry[2], BrbSend)]
+        harness.queue = [e for e in harness.queue if not isinstance(e[2], BrbSend)]
+        for src, dst, message in initial_sends:
+            if dst != 0:
+                harness.instances[dst].handle_message(src, message)
+        harness.blocked.add(0)
+        harness.flush()
+        for node in (1, 2, 3):
+            assert harness.delivered[node] == ["v"]
+
+    def test_echo_quorum_required(self):
+        """With only f echoes for a value no node delivers it."""
+        harness = BrbHarness()
+        echo = BrbEcho(instance="test", payload="forged")
+        harness.instances[1].handle_message(3, echo)
+        harness.flush()
+        assert all(not delivered for delivered in harness.delivered.values())
+
+    def test_ready_amplification_from_f_plus_1(self):
+        """f+1 READYs make a correct node send its own READY (Bracha amplification)."""
+        harness = BrbHarness()
+        ready = BrbReady(instance="test", payload="v")
+        harness.instances[1].handle_message(2, ready)
+        harness.instances[1].handle_message(3, ready)
+        sent_ready = [msg for _, _, msg in harness.queue if isinstance(msg, BrbReady)]
+        assert sent_ready, "node 1 should have amplified the READY"
+
+    def test_delivery_needs_2f_plus_1_readies(self):
+        harness = BrbHarness()
+        ready = BrbReady(instance="test", payload="v")
+        harness.instances[1].handle_message(2, ready)
+        harness.instances[1].handle_message(3, ready)
+        assert harness.delivered[1] == []
+        harness.instances[1].handle_message(0, ready)
+        assert harness.delivered[1] == ["v"]
+
+    def test_send_from_non_sender_ignored(self):
+        harness = BrbHarness(sender=0)
+        harness.instances[1].handle_message(2, BrbSend(instance="test", payload="fake"))
+        # Node 1 must not echo a SEND that did not come from the sender.
+        echoes = [msg for _, _, msg in harness.queue if isinstance(msg, BrbEcho)]
+        assert not echoes

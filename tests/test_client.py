@@ -1,0 +1,159 @@
+"""Tests for the SMR client (leader targeting, responses, resubmission)."""
+
+import pytest
+
+from repro.core.buckets import bucket_of
+from repro.core.client import Client
+from repro.core.config import ISSConfig, NetworkConfig
+from repro.core.messages import (
+    BucketAssignmentMsg,
+    ClientRequestMsg,
+    ClientResponseMsg,
+    client_endpoint,
+    is_client_endpoint,
+)
+from repro.crypto.signatures import KeyStore
+from repro.sim.latency import LatencyModel
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+
+
+class ClientHarness:
+    def __init__(self, num_nodes=4, **config_overrides):
+        self.config = ISSConfig(num_nodes=num_nodes, epoch_length=8, batch_rate=None, **config_overrides)
+        self.sim = Simulator(seed=9)
+        net_config = NetworkConfig(jitter=0.0)
+        self.network = Network(self.sim, net_config, LatencyModel(net_config, num_nodes))
+        self.key_store = KeyStore(deployment_seed=8)
+        #: Requests received per node.
+        self.received = {n: [] for n in range(num_nodes)}
+        for node in range(num_nodes):
+            self.network.register(node, lambda src, msg, node=node: self.received[node].append(msg))
+        self.completions = []
+        self.client = Client(
+            client_id=0,
+            config=self.config,
+            sim=self.sim,
+            network=self.network,
+            key_store=self.key_store,
+            on_complete=lambda cid, req, s, c: self.completions.append((req.rid, c - s)),
+        )
+
+    def assignment_message(self, epoch, leaders):
+        from repro.core.buckets import assignment_for_epoch
+
+        assignment = assignment_for_epoch(epoch, leaders, self.config.num_nodes, self.config.num_buckets)
+        pairs = tuple(sorted((b, leader) for leader, buckets in assignment.items() for b in buckets))
+        return BucketAssignmentMsg(epoch=epoch, assignment=pairs)
+
+    def deliver_assignment(self, epoch, leaders, from_nodes):
+        message = self.assignment_message(epoch, leaders)
+        for node in from_nodes:
+            self.client.on_message(node, message)
+
+
+class TestEndpoints:
+    def test_client_endpoint_mapping(self):
+        assert client_endpoint(3) == 1_000_003
+        assert is_client_endpoint(client_endpoint(0))
+        assert not is_client_endpoint(5)
+
+
+class TestSubmission:
+    def test_requests_signed_and_timestamped(self):
+        harness = ClientHarness()
+        first = harness.client.submit(b"a")
+        second = harness.client.submit(b"b")
+        assert first.rid.timestamp == 0 and second.rid.timestamp == 1
+        assert len(first.signature) > 0
+
+    def test_broadcast_to_all_nodes_without_assignment(self):
+        harness = ClientHarness()
+        harness.client.submit(b"x")
+        harness.sim.run(until=2.0)
+        assert all(len(harness.received[n]) == 1 for n in range(4))
+
+    def test_targeted_submission_after_assignment(self):
+        harness = ClientHarness()
+        harness.deliver_assignment(0, [0, 1, 2, 3], from_nodes=[0, 1])
+        request = harness.client.submit(b"x")
+        harness.sim.run(until=2.0)
+        receivers = [n for n in range(4) if harness.received[n]]
+        # Targeted: current leader plus two projections, not all nodes...
+        assert 1 <= len(receivers) <= 3
+        # ...and the bucket's current leader is among them.
+        bucket = bucket_of(request.rid, harness.config.num_buckets)
+        from repro.core.buckets import assignment_for_epoch
+
+        assignment = assignment_for_epoch(0, [0, 1, 2, 3], 4, harness.config.num_buckets)
+        leader = next(l for l, buckets in assignment.items() if bucket in buckets)
+        assert leader in receivers
+
+    def test_assignment_needs_quorum(self):
+        harness = ClientHarness()
+        harness.deliver_assignment(0, [0, 1, 2, 3], from_nodes=[0])  # only one vote < f+1
+        harness.client.submit(b"x")
+        harness.sim.run(until=2.0)
+        assert all(len(harness.received[n]) == 1 for n in range(4))  # still broadcast
+
+    def test_stale_assignment_ignored(self):
+        harness = ClientHarness()
+        harness.deliver_assignment(1, [0, 1, 2, 3], from_nodes=[0, 1])
+        harness.deliver_assignment(0, [0, 1], from_nodes=[0, 1])  # older epoch
+        assert harness.client._assignment_epoch == 1
+
+
+class TestResponses:
+    def test_completion_after_weak_quorum(self):
+        harness = ClientHarness()
+        request = harness.client.submit(b"x")
+        harness.client.on_message(0, ClientResponseMsg(rid=request.rid, sn=0, node=0))
+        assert harness.completions == []
+        harness.client.on_message(1, ClientResponseMsg(rid=request.rid, sn=0, node=1))
+        assert len(harness.completions) == 1
+        assert harness.client.pending_count() == 0
+
+    def test_duplicate_responses_from_same_node_not_counted(self):
+        harness = ClientHarness()
+        request = harness.client.submit(b"x")
+        harness.client.on_message(0, ClientResponseMsg(rid=request.rid, sn=0, node=0))
+        harness.client.on_message(0, ClientResponseMsg(rid=request.rid, sn=0, node=0))
+        assert harness.completions == []
+
+    def test_unknown_request_response_ignored(self):
+        harness = ClientHarness()
+        from repro.core.types import RequestId
+
+        harness.client.on_message(0, ClientResponseMsg(rid=RequestId(0, 99), sn=0, node=0))
+        assert harness.completions == []
+
+
+class TestResubmission:
+    def test_pending_requests_resubmitted_on_new_assignment(self):
+        harness = ClientHarness()
+        harness.client.submit(b"x")
+        harness.sim.run(until=2.0)
+        before = sum(len(msgs) for msgs in harness.received.values())
+        harness.deliver_assignment(1, [0, 1, 2, 3], from_nodes=[0, 1])
+        harness.sim.run(until=4.0)
+        after = sum(len(msgs) for msgs in harness.received.values())
+        assert after > before
+
+    def test_completed_requests_not_resubmitted(self):
+        harness = ClientHarness()
+        request = harness.client.submit(b"x")
+        harness.client.on_message(0, ClientResponseMsg(rid=request.rid, sn=0, node=0))
+        harness.client.on_message(1, ClientResponseMsg(rid=request.rid, sn=0, node=1))
+        harness.sim.run(until=2.0)
+        before = sum(len(msgs) for msgs in harness.received.values())
+        harness.deliver_assignment(1, [0, 1, 2, 3], from_nodes=[0, 1])
+        harness.sim.run(until=4.0)
+        after = sum(len(msgs) for msgs in harness.received.values())
+        assert after == before
+
+    def test_watermark_guard(self):
+        harness = ClientHarness(client_watermark_window=2)
+        harness.client.submit(b"a")
+        assert harness.client.outstanding_within_watermarks()
+        harness.client.submit(b"b")
+        assert not harness.client.outstanding_within_watermarks()

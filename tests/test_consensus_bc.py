@@ -1,0 +1,107 @@
+"""Unit tests for the single-shot Byzantine consensus used by Algorithm 5."""
+
+from typing import Dict, List, Optional
+
+from repro.consensus.bc import BOTTOM, ByzantineConsensus
+from repro.core.config import NetworkConfig
+from repro.sim.latency import LatencyModel
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+
+
+class BcHarness:
+    def __init__(self, num_nodes=4, max_faulty=1, view_timeout=2.0):
+        self.sim = Simulator(seed=5)
+        config = NetworkConfig(inter_dc_latency=0.02, intra_dc_latency=0.001, jitter=0.0)
+        self.network = Network(self.sim, config, LatencyModel(config, num_nodes))
+        self.num_nodes = num_nodes
+        self.decisions: Dict[int, Optional[object]] = {n: None for n in range(num_nodes)}
+        self.instances = {}
+        for node in range(num_nodes):
+            self.instances[node] = ByzantineConsensus(
+                instance="slot",
+                node_id=node,
+                num_nodes=num_nodes,
+                max_faulty=max_faulty,
+                sim=self.sim,
+                broadcast_fn=lambda msg, node=node: self._broadcast(node, msg),
+                decide_fn=lambda value, node=node: self.decisions.__setitem__(node, value),
+                view_timeout=view_timeout,
+            )
+            self.network.register(node, lambda src, msg, node=node: self.instances[node].handle_message(src, msg))
+
+    def _broadcast(self, src, message):
+        for dst in range(self.num_nodes):
+            if dst == src:
+                self.sim.call_soon(lambda dst=dst, msg=message: self.instances[dst].handle_message(src, msg))
+            else:
+                self.network.send(src, dst, message)
+
+
+class TestByzantineConsensus:
+    def test_unanimous_proposal_decides_that_value(self):
+        harness = BcHarness()
+        for node in range(4):
+            harness.instances[node].propose("value-A")
+        harness.sim.run(until=10.0)
+        assert all(harness.decisions[n] == "value-A" for n in range(4))
+
+    def test_agreement_with_differing_proposals(self):
+        harness = BcHarness()
+        for node in range(4):
+            harness.instances[node].propose(f"value-{node}")
+        harness.sim.run(until=20.0)
+        decided = {harness.decisions[n] for n in range(4)}
+        assert None not in decided
+        assert len(decided) == 1
+
+    def test_decision_is_a_proposed_value(self):
+        harness = BcHarness()
+        proposals = {n: f"value-{n}" for n in range(4)}
+        for node, value in proposals.items():
+            harness.instances[node].propose(value)
+        harness.sim.run(until=20.0)
+        assert harness.decisions[0] in set(proposals.values()) | {BOTTOM}
+
+    def test_crashed_coordinator_does_not_block(self):
+        harness = BcHarness(view_timeout=1.0)
+        harness.network.crash(0)  # node 0 is the view-0 leader
+        for node in range(1, 4):
+            harness.instances[node].propose("v")
+        harness.sim.run(until=30.0)
+        for node in range(1, 4):
+            assert harness.decisions[node] == "v"
+
+    def test_no_decision_without_quorum(self):
+        harness = BcHarness()
+        harness.network.crash(2)
+        harness.network.crash(3)
+        for node in (0, 1):
+            harness.instances[node].propose("v")
+        harness.sim.run(until=10.0)
+        assert harness.decisions[0] is None and harness.decisions[1] is None
+
+    def test_late_proposer_still_decides(self):
+        harness = BcHarness()
+        for node in range(3):
+            harness.instances[node].propose("v")
+        harness.sim.run(until=1.0)
+        harness.instances[3].propose("other")
+        harness.sim.run(until=20.0)
+        assert harness.decisions[3] == "v"
+
+    def test_decide_fires_once(self):
+        harness = BcHarness()
+        count = []
+        harness.instances[0]._decide = lambda value: count.append(value)
+        for node in range(4):
+            harness.instances[node].propose("v")
+        harness.sim.run(until=20.0)
+        assert len(count) == 1
+
+    def test_bottom_can_be_decided_when_proposed(self):
+        harness = BcHarness()
+        for node in range(4):
+            harness.instances[node].propose(BOTTOM)
+        harness.sim.run(until=10.0)
+        assert all(harness.decisions[n] == BOTTOM for n in range(4))

@@ -1,0 +1,50 @@
+"""Smoke tests keeping the example scripts runnable.
+
+Each example is imported and its ``main()`` executed; the examples use small
+deployments so this stays fast.  The fault-tolerance demo is the slowest and
+is exercised with a reduced configuration through its building blocks.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        output = capsys.readouterr().out
+        assert "throughput" in output
+        assert "epochs completed" in output
+
+    def test_replicated_kv_store_converges(self, capsys):
+        module = load_example("replicated_kv_store")
+        module.main()
+        output = capsys.readouterr().out
+        assert "All replicas converged" in output
+
+    def test_blockchain_ordering_builds_identical_chains(self, capsys):
+        module = load_example("blockchain_ordering")
+        module.main()
+        output = capsys.readouterr().out
+        assert "identical chains" in output
+        assert "pbft" in output and "hotstuff" in output
+
+    def test_fault_tolerance_demo_building_blocks(self):
+        module = load_example("fault_tolerance_demo")
+        result = module.build_deployment(crash=True).run()
+        assert module.check_safety(result)
+        assert result.report.completed == result.report.submitted > 0

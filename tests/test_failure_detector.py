@@ -1,0 +1,119 @@
+"""Unit tests for the ◇S(bz) failure detector."""
+
+from typing import Dict, List
+
+from repro.core.config import NetworkConfig
+from repro.fd.detector import EVENT_RESTORE, EVENT_SUSPECT, FailureDetector, HeartbeatMsg
+from repro.sim.latency import LatencyModel
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+
+
+class FDHarness:
+    """A group of failure detectors exchanging heartbeats over the network."""
+
+    def __init__(self, num_nodes=4, heartbeat_interval=0.5, initial_timeout=2.0):
+        self.sim = Simulator(seed=2)
+        config = NetworkConfig(inter_dc_latency=0.02, intra_dc_latency=0.001, jitter=0.0)
+        self.network = Network(self.sim, config, LatencyModel(config, num_nodes))
+        self.detectors: Dict[int, FailureDetector] = {}
+        self.events: List[tuple] = []
+        for node in range(num_nodes):
+            detector = FailureDetector(
+                node_id=node,
+                all_nodes=range(num_nodes),
+                sim=self.sim,
+                broadcast_fn=lambda msg, node=node: self.network.multicast(
+                    node, [n for n in range(num_nodes) if n != node], msg
+                ),
+                heartbeat_interval=heartbeat_interval,
+                initial_timeout=initial_timeout,
+            )
+            detector.subscribe(lambda event, peer, node=node: self.events.append((node, event, peer)))
+            self.detectors[node] = detector
+            self.network.register(node, detector.handle_message)
+
+    def start(self):
+        for detector in self.detectors.values():
+            detector.start()
+
+
+class TestFailureDetector:
+    def test_no_suspicion_among_correct_nodes(self):
+        harness = FDHarness()
+        harness.start()
+        harness.sim.run(until=20.0)
+        for detector in harness.detectors.values():
+            assert detector.suspected == set()
+
+    def test_quiet_node_eventually_suspected_by_all(self):
+        """Strong completeness: a crashed node ends up suspected everywhere."""
+        harness = FDHarness()
+        harness.start()
+        harness.sim.run(until=1.0)
+        harness.network.crash(3)
+        harness.detectors[3].stop()
+        harness.sim.run(until=30.0)
+        for node in (0, 1, 2):
+            assert harness.detectors[node].is_suspected(3)
+
+    def test_restore_after_false_suspicion(self):
+        """A partitioned-then-healed node is restored (eventual accuracy)."""
+        harness = FDHarness(initial_timeout=1.0)
+        harness.start()
+        harness.sim.run(until=1.0)
+        harness.network.partition([[0, 1, 2], [3]])
+        harness.sim.run(until=5.0)
+        assert harness.detectors[0].is_suspected(3)
+        harness.network.heal_partition()
+        harness.sim.run(until=40.0)
+        assert not harness.detectors[0].is_suspected(3)
+        restore_events = [e for e in harness.events if e[0] == 0 and e[1] == EVENT_RESTORE and e[2] == 3]
+        assert restore_events
+
+    def test_timeout_doubles_after_suspicion(self):
+        harness = FDHarness(initial_timeout=1.0)
+        harness.start()
+        harness.network.crash(3)
+        harness.detectors[3].stop()
+        before = harness.detectors[0].current_timeout(3)
+        harness.sim.run(until=10.0)
+        assert harness.detectors[0].current_timeout(3) > before
+
+    def test_suspect_event_emitted_once_per_suspicion(self):
+        harness = FDHarness(initial_timeout=1.0)
+        harness.start()
+        harness.network.crash(3)
+        harness.detectors[3].stop()
+        harness.sim.run(until=20.0)
+        suspect_events = [e for e in harness.events if e[0] == 0 and e[1] == EVENT_SUSPECT and e[2] == 3]
+        assert len(suspect_events) == 1
+
+    def test_note_alive_resets_suspicion(self):
+        harness = FDHarness()
+        detector = harness.detectors[0]
+        detector.start()
+        detector.suspected.add(2)
+        detector.note_alive(2)
+        assert not detector.is_suspected(2)
+
+    def test_heartbeat_message_identity(self):
+        harness = FDHarness()
+        detector = harness.detectors[0]
+        detector.start()
+        detector.suspected.add(2)
+        # A heartbeat claiming to be from 2 but arriving from 1 is ignored.
+        detector.handle_message(1, HeartbeatMsg(sender=2))
+        assert detector.is_suspected(2)
+        detector.handle_message(2, HeartbeatMsg(sender=2))
+        assert not detector.is_suspected(2)
+
+    def test_stop_cancels_timers(self):
+        harness = FDHarness()
+        harness.start()
+        for detector in harness.detectors.values():
+            detector.stop()
+        pending_before = harness.sim.pending_events()
+        harness.sim.run(until=60.0)
+        # No suspicion events should ever fire after stop.
+        assert all(event != EVENT_SUSPECT for _, event, _ in harness.events)

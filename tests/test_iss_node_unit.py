@@ -1,0 +1,239 @@
+"""Unit-level tests for ISSNode internals (without a full workload)."""
+
+import pytest
+
+from repro.core.config import ISSConfig, NetworkConfig
+from repro.core.iss import ISSNode
+from repro.core.messages import InstanceMessage
+from repro.core.types import Batch, NIL, SegmentDescriptor, is_nil
+from repro.core.validation import sign_request
+from repro.crypto.signatures import KeyStore
+from repro.sim.latency import LatencyModel
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+from tests.conftest import make_request
+
+
+class NodeHarness:
+    """A single ISS node wired to a network with silent peers."""
+
+    def __init__(self, num_nodes=4, **config_overrides):
+        defaults = dict(
+            epoch_length=8,
+            max_batch_size=8,
+            batch_rate=None,
+            max_batch_timeout=0.5,
+            view_change_timeout=3.0,
+            epoch_change_timeout=3.0,
+        )
+        defaults.update(config_overrides)
+        self.config = ISSConfig(num_nodes=num_nodes, **defaults)
+        self.sim = Simulator(seed=4)
+        net_config = NetworkConfig(jitter=0.0)
+        self.network = Network(self.sim, net_config, LatencyModel(net_config, num_nodes))
+        self.key_store = KeyStore(deployment_seed=1)
+        self.delivered = []
+        self.node = ISSNode(
+            node_id=0,
+            config=self.config,
+            sim=self.sim,
+            network=self.network,
+            key_store=self.key_store,
+            client_ids=[0, 1],
+            on_deliver=lambda node_id, item: self.delivered.append(item),
+        )
+        # Peers exist on the network but never respond.
+        for peer in range(1, num_nodes):
+            self.network.register(peer, lambda src, msg: None)
+
+    def signed_request(self, client=0, timestamp=0):
+        return sign_request(self.key_store, make_request(client=client, timestamp=timestamp))
+
+
+class TestRequestHandling:
+    def test_valid_request_enters_bucket_queue(self):
+        harness = NodeHarness()
+        assert harness.node.submit_request(harness.signed_request())
+        assert harness.node.pending_requests() == 1
+
+    def test_invalid_signature_rejected(self):
+        harness = NodeHarness()
+        assert not harness.node.submit_request(make_request(client=0))
+        assert harness.node.pending_requests() == 0
+
+    def test_unknown_client_rejected(self):
+        harness = NodeHarness()
+        assert not harness.node.submit_request(harness.signed_request(client=9))
+
+    def test_duplicate_submission_is_idempotent(self):
+        harness = NodeHarness()
+        request = harness.signed_request()
+        assert harness.node.submit_request(request)
+        assert not harness.node.submit_request(request)
+        assert harness.node.pending_requests() == 1
+
+    def test_signature_verification_can_be_disabled(self):
+        harness = NodeHarness(client_signatures=False)
+        assert harness.node.submit_request(make_request(client=0))
+
+
+class TestEpochZeroSetup:
+    def test_start_opens_one_instance_per_leader(self):
+        harness = NodeHarness()
+        harness.node.start()
+        instances = list(harness.node.orderer.active_instances())
+        assert len(instances) == len(harness.node.manager.leaders_for(0))
+
+    def test_segments_cover_epoch_zero(self):
+        harness = NodeHarness()
+        harness.node.start()
+        segments = harness.node.manager.segments_for(0)
+        sns = sorted(sn for s in segments for sn in s.seq_nrs)
+        assert sns == list(range(harness.config.epoch_length))
+
+    def test_crash_stops_instances(self):
+        harness = NodeHarness()
+        harness.node.start()
+        harness.node.crash()
+        assert harness.node.crashed
+        assert list(harness.node.orderer.active_instances()) == []
+
+
+class TestSBDeliverPath:
+    def test_sb_deliver_commits_and_delivers_contiguously(self):
+        harness = NodeHarness()
+        harness.node.start()
+        segments = harness.node.manager.segments_for(0)
+        request = harness.signed_request()
+        harness.node.submit_request(request)
+        batch = Batch.of([request])
+        first_segment = next(s for s in segments if 0 in s.seq_nrs)
+        harness.node._sb_deliver(first_segment, 0, batch)
+        assert harness.node.log.has_entry(0)
+        assert len(harness.delivered) == 1
+        assert harness.delivered[0].request.rid == request.rid
+
+    def test_nil_delivery_resurrects_own_proposal(self):
+        harness = NodeHarness()
+        harness.node.start()
+        segments = harness.node.manager.segments_for(0)
+        own_segment = next(s for s in segments if s.leader == 0)
+        request = harness.signed_request()
+        harness.node.submit_request(request)
+        sn = own_segment.seq_nrs[0]
+        batch = harness.node._cut_batch(own_segment, sn)
+        assert len(batch) == 1
+        assert harness.node.pending_requests() == 0
+        harness.node._sb_deliver(own_segment, sn, NIL)
+        # The unsuccessfully proposed request went back to its bucket queue.
+        assert harness.node.pending_requests() == 1
+
+    def test_delivered_request_not_resurrected(self):
+        harness = NodeHarness()
+        harness.node.start()
+        segments = harness.node.manager.segments_for(0)
+        own_segment = next(s for s in segments if s.leader == 0)
+        other_segment = next(s for s in segments if s.leader != 0)
+        request = harness.signed_request()
+        harness.node.submit_request(request)
+        sn = own_segment.seq_nrs[0]
+        batch = harness.node._cut_batch(own_segment, sn)
+        # The same request commits in another segment first (e.g. duplicate
+        # submission raced): the later ⊥ must not resurrect it.
+        harness.node._sb_deliver(other_segment, other_segment.seq_nrs[0], Batch.of([request]))
+        harness.node._sb_deliver(own_segment, sn, NIL)
+        assert harness.node.pending_requests() == 0
+
+    def test_epoch_advances_when_all_positions_filled(self):
+        harness = NodeHarness()
+        harness.node.start()
+        segments = harness.node.manager.segments_for(0)
+        for segment in segments:
+            for sn in segment.seq_nrs:
+                harness.node._sb_deliver(segment, sn, Batch.of(()))
+        assert harness.node.current_epoch == 1
+        assert harness.node.epochs_completed == 1
+
+    def test_duplicate_sb_deliver_ignored(self):
+        harness = NodeHarness()
+        harness.node.start()
+        segment = harness.node.manager.segments_for(0)[0]
+        harness.node._sb_deliver(segment, segment.seq_nrs[0], Batch.of(()))
+        harness.node._sb_deliver(segment, segment.seq_nrs[0], Batch.of(()))
+        assert harness.node.log.committed_count() == 1
+
+
+class TestBatchValidation:
+    def test_rejects_request_outside_segment_buckets(self):
+        harness = NodeHarness()
+        harness.node.start()
+        segments = harness.node.manager.segments_for(0)
+        request = harness.signed_request()
+        bucket = harness.node.buckets.bucket_of(request.rid)
+        wrong_segment = next(s for s in segments if bucket not in s.buckets)
+        assert not harness.node._validate_batch(wrong_segment, Batch.of([request]))
+
+    def test_accepts_request_in_correct_segment(self):
+        harness = NodeHarness()
+        harness.node.start()
+        segments = harness.node.manager.segments_for(0)
+        request = harness.signed_request()
+        bucket = harness.node.buckets.bucket_of(request.rid)
+        right_segment = next(s for s in segments if bucket in s.buckets)
+        assert harness.node._validate_batch(right_segment, Batch.of([request]))
+
+    def test_rejects_already_delivered_request(self):
+        harness = NodeHarness()
+        harness.node.start()
+        segments = harness.node.manager.segments_for(0)
+        request = harness.signed_request()
+        bucket = harness.node.buckets.bucket_of(request.rid)
+        segment = next(s for s in segments if bucket in s.buckets)
+        harness.node._sb_deliver(segment, segment.seq_nrs[0], Batch.of([request]))
+        assert not harness.node._validate_batch(segment, Batch.of([request]))
+
+    def test_rejects_duplicate_within_batch(self):
+        harness = NodeHarness()
+        harness.node.start()
+        segments = harness.node.manager.segments_for(0)
+        request = harness.signed_request()
+        bucket = harness.node.buckets.bucket_of(request.rid)
+        segment = next(s for s in segments if bucket in s.buckets)
+        assert not harness.node._validate_batch(segment, Batch.of([request, request]))
+
+    def test_rejects_same_request_in_two_different_batches(self):
+        harness = NodeHarness()
+        harness.node.start()
+        segments = harness.node.manager.segments_for(0)
+        request = harness.signed_request()
+        other = harness.signed_request(timestamp=1)
+        bucket = harness.node.buckets.bucket_of(request.rid)
+        segment = next(s for s in segments if bucket in s.buckets)
+        assert harness.node._validate_batch(segment, Batch.of([request]))
+        conflicting = Batch.of([request, other])
+        if harness.node.buckets.bucket_of(other.rid) not in segment.buckets:
+            conflicting = Batch.of([request])
+            # Re-validating the identical batch is fine; a different batch
+            # containing the same request is not, which the next assert shows
+            # using a padded copy.
+            padded = Batch.of([request, request])
+            assert not harness.node._validate_batch(segment, padded)
+        else:
+            assert not harness.node._validate_batch(segment, conflicting)
+
+
+class TestInstanceMessageRouting:
+    def test_future_epoch_messages_buffered(self):
+        harness = NodeHarness()
+        harness.node.start()
+        message = InstanceMessage(instance_id=(1, 0), payload="future")
+        harness.node.on_message(1, message)
+        assert harness.node._pending_messages.get(1)
+
+    def test_crashed_node_ignores_messages(self):
+        harness = NodeHarness()
+        harness.node.start()
+        harness.node.crash()
+        harness.node.on_message(1, InstanceMessage(instance_id=(0, 0), payload="x"))
+        # No buffering, no processing.
+        assert not harness.node._pending_messages

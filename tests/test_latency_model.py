@@ -1,0 +1,76 @@
+"""Unit tests for the WAN latency model."""
+
+import random
+
+import pytest
+
+from repro.core.config import NetworkConfig
+from repro.sim.latency import DATACENTER_NAMES, LatencyModel
+
+
+class TestLatencyModel:
+    def make_model(self, num_nodes=16, **overrides):
+        config = NetworkConfig(**overrides)
+        return LatencyModel(config, num_nodes)
+
+    def test_self_latency_is_zero(self):
+        model = self.make_model()
+        assert model.base_latency(3, 3) == 0.0
+
+    def test_symmetry(self):
+        model = self.make_model()
+        for a in range(8):
+            for b in range(8):
+                assert model.base_latency(a, b) == model.base_latency(b, a)
+
+    def test_same_datacenter_is_fast(self):
+        model = self.make_model(num_nodes=32, num_datacenters=16)
+        # Nodes 0 and 16 share datacenter 0.
+        assert model.base_latency(0, 16) == pytest.approx(model.config.intra_dc_latency)
+
+    def test_cross_datacenter_is_slower_than_intra(self):
+        model = self.make_model(num_nodes=32)
+        assert model.base_latency(0, 1) > model.base_latency(0, 16)
+
+    def test_latency_bounded_by_scale_range(self):
+        model = self.make_model()
+        mean = model.config.inter_dc_latency
+        for a in range(16):
+            for b in range(16):
+                if model.datacenter_of(a) != model.datacenter_of(b):
+                    assert 0.25 * mean <= model.base_latency(a, b) <= 1.75 * mean
+
+    def test_nodes_spread_uniformly_over_datacenters(self):
+        model = self.make_model(num_nodes=32, num_datacenters=16)
+        counts = {}
+        for node in range(32):
+            counts[model.datacenter_of(node)] = counts.get(model.datacenter_of(node), 0) + 1
+        assert all(count == 2 for count in counts.values())
+
+    def test_jitter_stays_within_bounds(self):
+        model = self.make_model(jitter=0.1)
+        rng = random.Random(1)
+        base = model.base_latency(0, 5)
+        for _ in range(100):
+            sample = model.sample_latency(0, 5, rng)
+            assert 0.9 * base <= sample <= 1.1 * base
+
+    def test_zero_jitter_is_deterministic(self):
+        model = self.make_model(jitter=0.0)
+        rng = random.Random(1)
+        assert model.sample_latency(0, 5, rng) == model.base_latency(0, 5)
+
+    def test_mean_latency_positive(self):
+        model = self.make_model()
+        assert model.mean_latency() > 0
+
+    def test_datacenter_names_cover_16_locations(self):
+        assert len(DATACENTER_NAMES) == 16
+        model = self.make_model()
+        assert model.datacenter_name(0) == DATACENTER_NAMES[0]
+
+    def test_extra_endpoints_get_placed(self):
+        model = self.make_model(num_nodes=4)
+        model.register_extra_endpoints([1_000_000, 1_000_001])
+        assert model.base_latency(0, 1_000_000) >= 0.0
+        assert 1_000_000 in model.placement

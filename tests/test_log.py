@@ -1,0 +1,115 @@
+"""Unit tests for the replicated log (contiguous delivery, Equation 2)."""
+
+import pytest
+
+from repro.core.log import Log
+from repro.core.types import Batch, NIL
+from tests.conftest import make_batch, make_request
+
+
+class TestCommit:
+    def test_commit_and_lookup(self):
+        log = Log()
+        batch = make_batch(make_request())
+        assert log.commit(0, batch, epoch=0, now=1.0)
+        assert log.entry(0) is batch
+        assert log.has_entry(0)
+
+    def test_duplicate_identical_commit_is_noop(self):
+        log = Log()
+        batch = make_batch(make_request())
+        log.commit(0, batch, epoch=0, now=1.0)
+        assert not log.commit(0, Batch.of(batch.requests), epoch=0, now=2.0)
+
+    def test_conflicting_commit_raises(self):
+        log = Log()
+        log.commit(0, make_batch(make_request(timestamp=1)), epoch=0, now=1.0)
+        with pytest.raises(ValueError):
+            log.commit(0, make_batch(make_request(timestamp=2)), epoch=0, now=2.0)
+
+    def test_nil_commit(self):
+        log = Log()
+        log.commit(0, NIL, epoch=0, now=0.0)
+        assert log.nil_positions() == [0]
+        assert not log.commit(0, NIL, epoch=0, now=1.0)
+
+    def test_nil_vs_batch_conflict_raises(self):
+        log = Log()
+        log.commit(0, NIL, epoch=0, now=0.0)
+        with pytest.raises(ValueError):
+            log.commit(0, make_batch(make_request()), epoch=0, now=1.0)
+
+
+class TestDelivery:
+    def test_contiguous_delivery_waits_for_gap(self):
+        log = Log()
+        log.commit(1, make_batch(make_request(timestamp=1)), epoch=0, now=0.0)
+        assert log.advance_delivery(now=0.0) == []
+        log.commit(0, make_batch(make_request(timestamp=0)), epoch=0, now=0.0)
+        delivered = log.advance_delivery(now=1.0)
+        assert [d.batch_sn for d in delivered] == [0, 1]
+        assert log.first_undelivered == 2
+
+    def test_equation2_request_sequence_numbers(self):
+        """sn_r = k + sum of earlier batch sizes (Equation 2)."""
+        log = Log()
+        first = make_batch(*(make_request(timestamp=i) for i in range(3)))
+        second = make_batch(*(make_request(timestamp=10 + i) for i in range(2)))
+        log.commit(0, first, epoch=0, now=0.0)
+        log.commit(1, second, epoch=0, now=0.0)
+        delivered = log.advance_delivery(now=0.0)
+        assert [d.sn for d in delivered] == [0, 1, 2, 3, 4]
+        assert log.total_delivered_requests == 5
+
+    def test_nil_entries_deliver_no_requests(self):
+        log = Log()
+        log.commit(0, NIL, epoch=0, now=0.0)
+        log.commit(1, make_batch(make_request()), epoch=0, now=0.0)
+        delivered = log.advance_delivery(now=0.0)
+        assert len(delivered) == 1
+        assert delivered[0].sn == 0
+        assert delivered[0].batch_sn == 1
+
+    def test_empty_batches_advance_without_requests(self):
+        log = Log()
+        log.commit(0, Batch.of(()), epoch=0, now=0.0)
+        assert log.advance_delivery(now=0.0) == []
+        assert log.first_undelivered == 1
+
+    def test_delivery_is_incremental(self):
+        log = Log()
+        log.commit(0, make_batch(make_request(timestamp=0)), epoch=0, now=0.0)
+        assert len(log.advance_delivery(now=0.0)) == 1
+        assert log.advance_delivery(now=0.0) == []
+        log.commit(1, make_batch(make_request(timestamp=1)), epoch=0, now=0.0)
+        assert len(log.advance_delivery(now=0.0)) == 1
+
+
+class TestQueries:
+    def test_is_complete_and_missing(self):
+        log = Log()
+        log.commit(0, NIL, epoch=0, now=0.0)
+        log.commit(2, NIL, epoch=0, now=0.0)
+        assert not log.is_complete(range(3))
+        assert log.missing(range(3)) == [1]
+        log.commit(1, NIL, epoch=0, now=0.0)
+        assert log.is_complete(range(3))
+
+    def test_highest_committed(self):
+        log = Log()
+        assert log.highest_committed() is None
+        log.commit(5, NIL, epoch=0, now=0.0)
+        assert log.highest_committed() == 5
+
+    def test_digests_in_requires_entries(self):
+        log = Log()
+        log.commit(0, NIL, epoch=0, now=0.0)
+        assert len(log.digests_in([0])) == 1
+        with pytest.raises(KeyError):
+            log.digests_in([0, 1])
+
+    def test_entries_in_returns_pairs(self):
+        log = Log()
+        batch = make_batch(make_request())
+        log.commit(0, batch, epoch=0, now=0.0)
+        assert log.entries_in([0, 1]) == [(0, batch)]

@@ -1,0 +1,123 @@
+"""Unit tests for metrics collection and report formatting."""
+
+import pytest
+
+from repro.core.types import DeliveredRequest, RequestId
+from repro.metrics.collector import LatencySummary, MetricsCollector
+from repro.metrics.report import format_series, format_table, print_banner, speedup
+from tests.conftest import make_request
+
+
+def delivered(request, at, batch_sn=0):
+    return DeliveredRequest(request=request, sn=0, batch_sn=batch_sn, epoch=0, delivered_at=at)
+
+
+class TestLatencySummary:
+    def test_empty_samples(self):
+        summary = LatencySummary.from_samples([])
+        assert summary.count == 0 and summary.mean == 0.0
+
+    def test_percentiles(self):
+        samples = [float(i) for i in range(1, 101)]
+        summary = LatencySummary.from_samples(samples)
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.p50 == 50.0
+        assert summary.p95 == 95.0
+        assert summary.p99 == 99.0
+        assert summary.maximum == 100.0
+
+    def test_single_sample(self):
+        summary = LatencySummary.from_samples([2.5])
+        assert summary.p50 == summary.p95 == summary.maximum == 2.5
+
+
+class TestMetricsCollector:
+    def test_completion_requires_quorum_of_nodes(self):
+        collector = MetricsCollector(completion_quorum=2)
+        request = make_request()
+        collector.record_submit(request.rid, 1.0)
+        collector.record_delivery(0, delivered(request, at=2.0))
+        assert collector.completed_count() == 0
+        collector.record_delivery(1, delivered(request, at=3.0))
+        assert collector.completed_count() == 1
+        report = collector.report(duration=10.0)
+        assert report.latency.mean == pytest.approx(2.0)
+
+    def test_duplicate_deliveries_from_same_node_do_not_complete(self):
+        collector = MetricsCollector(completion_quorum=2)
+        request = make_request()
+        collector.record_submit(request.rid, 0.0)
+        collector.record_delivery(0, delivered(request, at=1.0))
+        collector.record_delivery(0, delivered(request, at=1.5))
+        assert collector.completed_count() == 0
+
+    def test_client_completion_path(self):
+        collector = MetricsCollector(completion_quorum=2)
+        request = make_request()
+        collector.record_client_completion(0, request, submitted_at=1.0, completed_at=4.0)
+        report = collector.report(duration=10.0)
+        assert report.completed == 1
+        assert report.latency.mean == pytest.approx(3.0)
+
+    def test_completion_counted_once_across_paths(self):
+        collector = MetricsCollector(completion_quorum=1)
+        request = make_request()
+        collector.record_submit(request.rid, 0.0)
+        collector.record_delivery(0, delivered(request, at=1.0))
+        collector.record_client_completion(0, request, submitted_at=0.0, completed_at=5.0)
+        assert collector.completed_count() == 1
+        assert collector.report(duration=10.0).latency.maximum == pytest.approx(1.0)
+
+    def test_warmup_excludes_early_submissions(self):
+        collector = MetricsCollector(completion_quorum=1, warmup=5.0)
+        early, late = make_request(timestamp=0), make_request(timestamp=1)
+        collector.record_submit(early.rid, 1.0)
+        collector.record_submit(late.rid, 6.0)
+        collector.record_delivery(0, delivered(early, at=7.0))
+        collector.record_delivery(0, delivered(late, at=8.0))
+        report = collector.report(duration=10.0)
+        assert report.completed == 1
+
+    def test_throughput_and_timeline(self):
+        collector = MetricsCollector(completion_quorum=1)
+        for i in range(10):
+            request = make_request(timestamp=i)
+            collector.record_submit(request.rid, 0.1 * i)
+            collector.record_delivery(0, delivered(request, at=0.5 + i * 0.1))
+        report = collector.report(duration=2.0)
+        assert report.throughput == pytest.approx(5.0)
+        timeline = collector.throughput_timeline(duration=2.0, bucket=1.0)
+        assert len(timeline) == 2
+        assert sum(v for _, v in timeline) == pytest.approx(10.0)
+
+    def test_report_extra_passthrough(self):
+        collector = MetricsCollector(completion_quorum=1)
+        report = collector.report(duration=1.0, extra={"epochs": 3.0})
+        assert report.extra["epochs"] == 3.0
+
+    def test_invalid_quorum(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(completion_quorum=0)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 123456]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "123456" in lines[3]
+
+    def test_format_series(self):
+        text = format_series("tput", [(1.0, 100.0), (2.0, 200.0)])
+        assert "1.0s:100" in text and "2.0s:200" in text
+
+    def test_speedup(self):
+        assert speedup(100.0, 10.0) == pytest.approx(10.0)
+        assert speedup(100.0, 0.0) == float("inf")
+        assert speedup(0.0, 0.0) == 1.0
+
+    def test_print_banner_smoke(self, capsys):
+        print_banner("Figure 5")
+        assert "Figure 5" in capsys.readouterr().out

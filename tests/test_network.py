@@ -1,0 +1,222 @@
+"""Unit tests for the simulated WAN network (bandwidth, latency, faults)."""
+
+import pytest
+
+from repro.core.config import NetworkConfig
+from repro.sim.latency import LatencyModel
+from repro.sim.network import Network, wire_size
+from repro.sim.simulator import Simulator
+
+
+class _Payload:
+    """Payload with an explicit wire size, for bandwidth tests."""
+
+    def __init__(self, size: int):
+        self._size = size
+
+    def wire_size(self) -> int:
+        return self._size
+
+
+def build_network(num_nodes=4, **overrides):
+    config = NetworkConfig(
+        bandwidth_bps=overrides.pop("bandwidth_bps", 1e9),
+        inter_dc_latency=overrides.pop("inter_dc_latency", 0.05),
+        intra_dc_latency=overrides.pop("intra_dc_latency", 0.001),
+        jitter=overrides.pop("jitter", 0.0),
+        **overrides,
+    )
+    sim = Simulator(seed=3)
+    latency = LatencyModel(config, num_nodes)
+    return sim, Network(sim, config, latency)
+
+
+class Inbox:
+    def __init__(self):
+        self.messages = []
+
+    def __call__(self, src, message):
+        self.messages.append((src, message))
+
+
+class TestDelivery:
+    def test_point_to_point_delivery(self):
+        sim, net = build_network()
+        inbox = Inbox()
+        net.register(0, Inbox())
+        net.register(1, inbox)
+        net.send(0, 1, "hello")
+        sim.run()
+        assert inbox.messages == [(0, "hello")]
+
+    def test_delivery_respects_propagation_latency(self):
+        sim, net = build_network(inter_dc_latency=0.1)
+        arrival = []
+        net.register(0, Inbox())
+        net.register(1, lambda src, msg: arrival.append(sim.now))
+        net.send(0, 1, _Payload(10))
+        sim.run()
+        # Cross-datacenter latency is the configured mean scaled by ring
+        # distance (between 25% and 175% of the mean), never sub-millisecond.
+        assert arrival and 0.1 * 0.25 <= arrival[0] <= 0.1 * 1.75 + 0.01
+
+    def test_unregistered_destination_drops(self):
+        sim, net = build_network()
+        net.register(0, Inbox())
+        net.send(0, 9, "lost")
+        sim.run()
+        assert net.stats.messages_dropped == 1
+
+    def test_multicast_reaches_all(self):
+        sim, net = build_network()
+        inboxes = {n: Inbox() for n in range(4)}
+        for n, inbox in inboxes.items():
+            net.register(n, inbox)
+        net.multicast(0, [1, 2, 3], "hi")
+        sim.run()
+        for n in (1, 2, 3):
+            assert inboxes[n].messages == [(0, "hi")]
+
+    def test_stats_count_bytes_per_sender(self):
+        sim, net = build_network()
+        net.register(0, Inbox())
+        net.register(1, Inbox())
+        net.send(0, 1, _Payload(1000))
+        net.send(0, 1, _Payload(500))
+        sim.run()
+        assert net.stats.per_node_bytes_sent[0] == 1500
+        assert net.stats.per_node_messages_sent[0] == 2
+
+
+class TestBandwidth:
+    def test_nic_serialises_consecutive_sends(self):
+        """Two large messages from the same sender arrive one transmission apart."""
+        sim, net = build_network(bandwidth_bps=8e6, inter_dc_latency=0.0, intra_dc_latency=0.0)
+        arrivals = []
+        net.register(0, Inbox())
+        net.register(1, lambda src, msg: arrivals.append(sim.now))
+        # 1 MB at 8 Mbit/s = 1 second of transmission each.
+        net.send(0, 1, _Payload(1_000_000))
+        net.send(0, 1, _Payload(1_000_000))
+        sim.run()
+        assert len(arrivals) == 2
+        assert arrivals[1] - arrivals[0] == pytest.approx(1.0, rel=0.05)
+
+    def test_single_sender_bandwidth_bounds_throughput(self):
+        """A leader pushing the same batch to n-1 followers pays n-1 transmissions."""
+        sim, net = build_network(num_nodes=5, bandwidth_bps=8e6, inter_dc_latency=0.0, intra_dc_latency=0.0)
+        last_arrival = []
+        for n in range(5):
+            net.register(n, lambda src, msg: last_arrival.append(sim.now))
+        net.multicast(0, [1, 2, 3, 4], _Payload(1_000_000))
+        sim.run()
+        # 4 copies of 1 s each must leave the NIC back to back.
+        assert max(last_arrival) == pytest.approx(4.0, rel=0.05)
+
+    def test_backlog_reporting(self):
+        sim, net = build_network(bandwidth_bps=8e6)
+        net.register(0, Inbox())
+        net.register(1, Inbox())
+        net.send(0, 1, _Payload(1_000_000))
+        assert net.nic_backlog(0) == pytest.approx(1.0, rel=0.05)
+
+
+class TestFaults:
+    def test_crashed_sender_messages_dropped(self):
+        sim, net = build_network()
+        inbox = Inbox()
+        net.register(0, Inbox())
+        net.register(1, inbox)
+        net.crash(0)
+        net.send(0, 1, "x")
+        sim.run()
+        assert inbox.messages == []
+
+    def test_crashed_receiver_messages_dropped(self):
+        sim, net = build_network()
+        inbox = Inbox()
+        net.register(0, Inbox())
+        net.register(1, inbox)
+        net.crash(1)
+        net.send(0, 1, "x")
+        sim.run()
+        assert inbox.messages == []
+
+    def test_crash_after_send_drops_in_flight(self):
+        sim, net = build_network(inter_dc_latency=0.5)
+        inbox = Inbox()
+        net.register(0, Inbox())
+        net.register(1, inbox)
+        net.send(0, 1, "x")
+        net.crash(1)
+        sim.run()
+        assert inbox.messages == []
+
+    def test_recover_restores_connectivity(self):
+        sim, net = build_network()
+        inbox = Inbox()
+        net.register(0, Inbox())
+        net.register(1, inbox)
+        net.crash(1)
+        net.recover(1)
+        net.send(0, 1, "x")
+        sim.run()
+        assert len(inbox.messages) == 1
+
+    def test_partition_blocks_cross_group_traffic(self):
+        sim, net = build_network()
+        inboxes = {n: Inbox() for n in range(4)}
+        for n, inbox in inboxes.items():
+            net.register(n, inbox)
+        net.partition([[0, 1], [2, 3]])
+        net.send(0, 1, "same-side")
+        net.send(0, 2, "cross")
+        sim.run()
+        assert len(inboxes[1].messages) == 1
+        assert len(inboxes[2].messages) == 0
+
+    def test_heal_partition(self):
+        sim, net = build_network()
+        inbox = Inbox()
+        net.register(0, Inbox())
+        net.register(2, inbox)
+        net.partition([[0], [2]])
+        net.heal_partition()
+        net.send(0, 2, "x")
+        sim.run()
+        assert len(inbox.messages) == 1
+
+    def test_link_filter_can_drop(self):
+        sim, net = build_network()
+        inbox = Inbox()
+        net.register(0, Inbox())
+        net.register(1, inbox)
+        net.add_link_filter(lambda src, dst, msg: msg != "drop-me")
+        net.send(0, 1, "drop-me")
+        net.send(0, 1, "keep-me")
+        sim.run()
+        assert [m for _, m in inbox.messages] == ["keep-me"]
+
+    def test_random_drop_rate(self):
+        sim, net = build_network(drop_rate=0.5)
+        inbox = Inbox()
+        net.register(0, Inbox())
+        net.register(1, inbox)
+        for _ in range(200):
+            net.send(0, 1, "x")
+        sim.run()
+        assert 30 < len(inbox.messages) < 170
+
+
+class TestWireSize:
+    def test_wire_size_uses_explicit_method(self):
+        assert wire_size(_Payload(123)) == 123
+
+    def test_wire_size_default_for_plain_objects(self):
+        assert wire_size("some string") == 96
+
+    def test_wire_size_uses_size_bytes(self):
+        from tests.conftest import make_request
+
+        request = make_request(payload=b"x" * 100)
+        assert wire_size(request) == request.size_bytes()

@@ -1,0 +1,159 @@
+"""Tests for the PBFT Sequenced-Broadcast implementation."""
+
+import pytest
+
+from repro.core.types import Batch, NIL, SegmentDescriptor, is_nil
+from repro.pbft.pbft import PbftSB
+from tests.conftest import SBTestBed
+
+
+def make_bed(num_nodes=4, leader=0, seq_nrs=(0, 1, 2, 3), **kwargs) -> SBTestBed:
+    segment = SegmentDescriptor(epoch=0, leader=leader, seq_nrs=tuple(seq_nrs), buckets=(0,))
+    return SBTestBed(num_nodes, lambda ctx: PbftSB(ctx), segment=segment, **kwargs)
+
+
+class TestFaultFree:
+    def test_all_nodes_deliver_all_sequence_numbers(self):
+        bed = make_bed()
+        bed.feed_requests(0, 16)
+        bed.start_all()
+        bed.run(until=10.0)
+        bed.assert_termination()
+        bed.assert_agreement()
+
+    def test_delivered_values_match_leader_proposals(self):
+        bed = make_bed()
+        fed = bed.feed_requests(0, 8)
+        bed.start_all()
+        bed.run(until=10.0)
+        delivered_rids = [
+            request.rid
+            for sn in bed.segment.seq_nrs
+            for request in bed.delivered[1][sn].requests
+        ]
+        assert delivered_rids == [request.rid for request in fed[:8]]
+
+    def test_no_nil_in_fault_free_run(self):
+        bed = make_bed()
+        bed.feed_requests(0, 16)
+        bed.start_all()
+        bed.run(until=10.0)
+        for node in range(4):
+            assert not any(is_nil(v) for v in bed.delivered[node].values())
+
+    def test_empty_batches_fill_idle_sequence_numbers(self):
+        """With no requests, the leader proposes empty batches at the batch timeout."""
+        bed = make_bed()
+        bed.start_all()
+        bed.run(until=10.0)
+        bed.assert_termination()
+        for value in bed.delivered[0].values():
+            assert not is_nil(value)
+            assert len(value) == 0
+
+    def test_view_stays_zero_without_faults(self):
+        bed = make_bed()
+        bed.feed_requests(0, 8)
+        bed.start_all()
+        bed.run(until=10.0)
+        for instance in bed.instances:
+            assert instance.view == 0
+
+    def test_non_leader_never_proposes(self):
+        bed = make_bed(leader=2)
+        bed.feed_requests(2, 8)
+        bed.feed_requests(0, 8)  # node 0 has requests but must not propose
+        bed.start_all()
+        bed.run(until=10.0)
+        assert bed.proposed[0] == {}
+        assert len(bed.proposed[2]) == 4
+
+    def test_seven_nodes(self):
+        bed = make_bed(num_nodes=7, seq_nrs=(0, 1, 2, 3, 4, 5))
+        bed.feed_requests(0, 24)
+        bed.start_all()
+        bed.run(until=15.0)
+        bed.assert_termination()
+        bed.assert_agreement()
+
+
+class TestLeaderFailure:
+    def test_crashed_leader_leads_to_nil_delivery(self):
+        """SB3/SB4: the instance terminates with ⊥ once the leader is suspected."""
+        bed = make_bed()
+        bed.feed_requests(0, 16)
+        bed.crash(0)
+        bed.start([1, 2, 3])
+        bed.run(until=30.0)
+        bed.assert_termination()
+        bed.assert_agreement()
+        for node in (1, 2, 3):
+            assert all(is_nil(v) for v in bed.delivered[node].values())
+
+    def test_leader_crash_mid_segment(self):
+        """Batches committed before the crash survive; the rest become ⊥.
+
+        Only one full batch is fed, so the pacer spaces the remaining (empty)
+        proposals by the batch timeout and the crash at t=0.5 lands between
+        proposals: some positions are already committed, the rest never get
+        proposed and must terminate as ⊥.
+        """
+        bed = make_bed(seq_nrs=(0, 1, 2, 3, 4, 5))
+        bed.feed_requests(0, 4)
+        bed.start_all()
+        bed.run(until=0.5)
+        committed_before = dict(bed.delivered[1])
+        bed.crash(0)
+        bed.run(until=40.0)
+        bed.assert_termination()
+        bed.assert_agreement()
+        for sn, value in committed_before.items():
+            assert bed.delivered[1][sn].digest() == value.digest()
+        assert any(is_nil(v) for v in bed.delivered[1].values())
+
+    def test_view_change_happened_after_crash(self):
+        bed = make_bed()
+        bed.crash(0)
+        bed.start([1, 2, 3])
+        bed.run(until=30.0)
+        assert any(inst.view > 0 for inst in bed.instances[1:])
+
+    def test_too_many_crashes_block_progress(self):
+        """With more than f crashed nodes the remaining ones cannot commit."""
+        bed = make_bed()
+        bed.feed_requests(0, 8)
+        bed.crash(2)
+        bed.crash(3)
+        bed.start([0, 1])
+        bed.run(until=30.0)
+        assert bed.delivered[0] == {} and bed.delivered[1] == {}
+
+
+class TestFollowerValidation:
+    def test_invalid_batches_are_rejected_and_replaced_by_nil(self):
+        """Followers refusing a proposal force a view change and ⊥ delivery."""
+        bed = SBTestBed(
+            4,
+            lambda ctx: PbftSB(ctx),
+            segment=SegmentDescriptor(epoch=0, leader=0, seq_nrs=(0, 1), buckets=(0,)),
+            validate=lambda node, batch: len(batch) == 0,  # reject any non-empty batch
+        )
+        bed.feed_requests(0, 8)
+        bed.start_all()
+        bed.run(until=30.0)
+        bed.assert_termination()
+        for node in bed.correct_nodes():
+            assert all(is_nil(v) or len(v) == 0 for v in bed.delivered[node].values())
+
+
+class TestMessageComplexity:
+    def test_quadratic_vote_traffic_per_batch(self):
+        """PBFT sends O(n^2) prepare/commit messages per decided batch."""
+        bed = make_bed()
+        bed.feed_requests(0, 4)
+        bed.start_all()
+        bed.run(until=10.0)
+        n = 4
+        decided = len(bed.segment.seq_nrs)
+        # Lower bound: each decision needs ~2 * n * (n-1) votes (prepare+commit).
+        assert bed.network.stats.messages_sent >= decided * 2 * n * (n - 1) * 0.5

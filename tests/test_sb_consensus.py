@@ -1,0 +1,87 @@
+"""Tests for the reference SB-from-consensus construction (Algorithm 5)."""
+
+import pytest
+
+from repro.consensus.sb_consensus import ConsensusSB
+from repro.core.types import SegmentDescriptor, is_nil
+from tests.conftest import SBTestBed
+
+
+def make_bed(num_nodes=4, leader=0, seq_nrs=(0, 1, 2, 3), leader_timeout=3.0, **kwargs) -> SBTestBed:
+    segment = SegmentDescriptor(epoch=0, leader=leader, seq_nrs=tuple(seq_nrs), buckets=(0,))
+    return SBTestBed(
+        num_nodes,
+        lambda ctx: ConsensusSB(ctx, leader_timeout=leader_timeout),
+        segment=segment,
+        **kwargs,
+    )
+
+
+class TestSBProperties:
+    def test_sb3_termination_fault_free(self):
+        bed = make_bed()
+        bed.feed_requests(0, 16)
+        bed.start_all()
+        bed.run(until=20.0)
+        bed.assert_termination()
+
+    def test_sb2_agreement(self):
+        bed = make_bed()
+        bed.feed_requests(0, 16)
+        bed.start_all()
+        bed.run(until=20.0)
+        bed.assert_agreement()
+
+    def test_sb1_integrity_values_come_from_sender(self):
+        bed = make_bed()
+        fed = bed.feed_requests(0, 8)
+        bed.start_all()
+        bed.run(until=20.0)
+        fed_rids = {r.rid for r in fed}
+        for sn, value in bed.delivered[1].items():
+            if not is_nil(value):
+                for request in value.requests:
+                    assert request.rid in fed_rids
+
+    def test_sb3_termination_with_quiet_sender(self):
+        """A quiet sender is eventually suspected and ⊥ fills every position."""
+        bed = make_bed(leader_timeout=2.0)
+        bed.crash(0)
+        bed.start([1, 2, 3])
+        bed.run(until=60.0)
+        bed.assert_termination([1, 2, 3])
+        for node in (1, 2, 3):
+            assert all(is_nil(v) for v in bed.delivered[node].values())
+
+    def test_sb4_no_nil_when_sender_correct_and_trusted(self):
+        bed = make_bed()
+        bed.feed_requests(0, 16)
+        bed.start_all()
+        bed.run(until=20.0)
+        for node in bed.correct_nodes():
+            assert not any(is_nil(v) for v in bed.delivered[node].values())
+
+    def test_mixed_outcome_when_sender_dies_mid_segment(self):
+        bed = make_bed(seq_nrs=(0, 1, 2, 3, 4, 5), leader_timeout=2.0)
+        bed.feed_requests(0, 24)
+        bed.start_all()
+        bed.run(until=0.6)
+        bed.crash(0)
+        bed.run(until=60.0)
+        bed.assert_termination([1, 2, 3])
+        bed.assert_agreement()
+
+    def test_invalid_payloads_never_enter_consensus(self):
+        bed = SBTestBed(
+            4,
+            lambda ctx: ConsensusSB(ctx, leader_timeout=2.0),
+            segment=SegmentDescriptor(epoch=0, leader=0, seq_nrs=(0, 1), buckets=(0,)),
+            validate=lambda node, batch: len(batch) == 0,
+        )
+        bed.feed_requests(0, 8)
+        bed.start_all()
+        bed.run(until=60.0)
+        bed.assert_termination()
+        for node in bed.correct_nodes():
+            for value in bed.delivered[node].values():
+                assert is_nil(value) or len(value) == 0

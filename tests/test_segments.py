@@ -1,0 +1,117 @@
+"""Unit tests for epoch/segment arithmetic."""
+
+import pytest
+
+from repro.core.segment import (
+    LAYOUT_CONTIGUOUS,
+    LAYOUT_ROUND_ROBIN,
+    build_segments,
+    epoch_first_sn,
+    epoch_last_sn,
+    epoch_of,
+    epoch_seq_nrs,
+    segment_of,
+    segment_seq_nrs,
+    validate_epoch_partition,
+)
+
+
+class TestEpochMath:
+    def test_epoch_of(self):
+        assert epoch_of(0, 12) == 0
+        assert epoch_of(11, 12) == 0
+        assert epoch_of(12, 12) == 1
+        assert epoch_of(25, 12) == 2
+
+    def test_epoch_boundaries_are_contiguous(self):
+        """max(Sn(e)) + 1 == min(Sn(e+1)) for all e (Section 2.3)."""
+        for epoch in range(5):
+            assert epoch_last_sn(epoch, 12) + 1 == epoch_first_sn(epoch + 1, 12)
+
+    def test_epoch_seq_nrs(self):
+        assert list(epoch_seq_nrs(1, 12)) == list(range(12, 24))
+
+    def test_negative_sn_rejected(self):
+        with pytest.raises(ValueError):
+            epoch_of(-1, 12)
+
+
+class TestSegmentSeqNrs:
+    def test_paper_figure1_example(self):
+        """Epoch 0 with 3 segments over 12 sequence numbers (Figure 1)."""
+        seg0 = segment_seq_nrs(0, 0, 3, 12)
+        seg1 = segment_seq_nrs(0, 1, 3, 12)
+        seg2 = segment_seq_nrs(0, 2, 3, 12)
+        assert seg0 == (0, 3, 6, 9)
+        assert seg1 == (1, 4, 7, 10)
+        assert seg2 == (2, 5, 8, 11)
+        assert max(seg1) == 10  # max(Seg(0,1)) = 10 as stated in the caption
+
+    def test_epoch1_with_two_segments(self):
+        """Epoch 1 with 2 segments: max(Sn(1)) = 23 (Figure 1)."""
+        seg0 = segment_seq_nrs(1, 0, 2, 12)
+        seg1 = segment_seq_nrs(1, 1, 2, 12)
+        assert sorted(seg0 + seg1) == list(range(12, 24))
+        assert max(seg0 + seg1) == 23
+
+    @pytest.mark.parametrize("num_leaders", [1, 2, 3, 4, 5])
+    def test_round_robin_partitions_epoch(self, num_leaders):
+        epoch_length = 20
+        all_sns = []
+        for index in range(num_leaders):
+            all_sns.extend(segment_seq_nrs(2, index, num_leaders, epoch_length))
+        assert sorted(all_sns) == list(epoch_seq_nrs(2, epoch_length))
+
+    @pytest.mark.parametrize("num_leaders", [1, 2, 3, 4, 5])
+    def test_contiguous_partitions_epoch(self, num_leaders):
+        epoch_length = 20
+        all_sns = []
+        for index in range(num_leaders):
+            all_sns.extend(
+                segment_seq_nrs(2, index, num_leaders, epoch_length, layout=LAYOUT_CONTIGUOUS)
+            )
+        assert sorted(all_sns) == list(epoch_seq_nrs(2, epoch_length))
+
+    def test_segment_sizes_balanced(self):
+        sizes = [len(segment_seq_nrs(0, i, 3, 16)) for i in range(3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_leader_index(self):
+        with pytest.raises(ValueError):
+            segment_seq_nrs(0, 3, 3, 12)
+
+    def test_unknown_layout(self):
+        with pytest.raises(ValueError):
+            segment_seq_nrs(0, 0, 2, 12, layout="diagonal")
+
+
+class TestBuildSegments:
+    def test_segments_carry_leaders_and_buckets(self):
+        segments = build_segments(epoch=0, leaders=[0, 1, 2], num_nodes=4, epoch_length=12, num_buckets=64)
+        assert [s.leader for s in segments] == [0, 1, 2]
+        validate_epoch_partition(segments, 0, 12, 64)
+
+    def test_bucket_partition_holds_for_partial_leadersets(self):
+        segments = build_segments(epoch=3, leaders=[1, 3], num_nodes=4, epoch_length=16, num_buckets=64)
+        validate_epoch_partition(segments, 3, 16, 64)
+
+    def test_segment_of_lookup(self):
+        segments = build_segments(epoch=0, leaders=[0, 1], num_nodes=4, epoch_length=8, num_buckets=16)
+        segment = segment_of(5, segments)
+        assert 5 in segment.seq_nrs
+        with pytest.raises(KeyError):
+            segment_of(99, segments)
+
+    def test_duplicate_leaders_rejected(self):
+        with pytest.raises(ValueError):
+            build_segments(epoch=0, leaders=[0, 0], num_nodes=4, epoch_length=8, num_buckets=16)
+
+    def test_empty_leaderset_rejected(self):
+        with pytest.raises(ValueError):
+            build_segments(epoch=0, leaders=[], num_nodes=4, epoch_length=8, num_buckets=16)
+
+    def test_validate_epoch_partition_detects_gaps(self):
+        segments = build_segments(epoch=0, leaders=[0, 1], num_nodes=4, epoch_length=8, num_buckets=16)
+        broken = [segments[0]]
+        with pytest.raises(ValueError):
+            validate_epoch_partition(broken, 0, 8, 16)

@@ -1,0 +1,156 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.sim.simulator import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(1.5, lambda: order.append("middle"))
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_same_time_events_run_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+        assert sim.now == 3.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(2.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_schedule_at_past_time_runs_now(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.schedule_at(0.5, lambda: None))
+        final = sim.run()
+        assert final == 1.0
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.call_soon(lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [1.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            order.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(5.0, lambda: seen.append(5))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+        sim.run(until=10.0)
+        assert seen == [1, 5]
+
+    def test_run_until_idle_executes_everything(self):
+        sim = Simulator()
+        count = []
+        for i in range(10):
+            sim.schedule(float(i), lambda: count.append(1))
+        sim.run_until_idle()
+        assert len(count) == 10
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        count = []
+        for i in range(10):
+            sim.schedule(float(i), lambda: count.append(1))
+        sim.run(max_events=3)
+        assert len(count) == 3
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 4
+
+    def test_pending_events(self):
+        sim = Simulator()
+        timer = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events() == 2
+        timer.cancel()
+        assert sim.pending_events() == 1
+
+
+class TestTimers:
+    def test_cancelled_timer_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        timer = sim.schedule(1.0, lambda: seen.append(1))
+        timer.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_timer_reset_moves_fire_time(self):
+        sim = Simulator()
+        seen = []
+        timer = sim.schedule(1.0, lambda: seen.append(sim.now))
+        timer.reset(3.0)
+        sim.run()
+        assert seen == [3.0]
+
+    def test_timer_active_property(self):
+        sim = Simulator()
+        timer = sim.schedule(1.0, lambda: None)
+        assert timer.active
+        timer.cancel()
+        assert not timer.active
+
+    def test_determinism_same_seed(self):
+        def run_once(seed: int):
+            sim = Simulator(seed=seed)
+            values = []
+            def emit():
+                values.append(sim.rng.random())
+                if len(values) < 5:
+                    sim.schedule(sim.rng.random(), emit)
+            sim.schedule(0.1, emit)
+            sim.run()
+            return values
+
+        assert run_once(7) == run_once(7)
+        assert run_once(7) != run_once(8)

@@ -1,0 +1,150 @@
+"""Unit tests for state transfer (catching up from a stable checkpoint)."""
+
+import pytest
+
+from repro.core.checkpoint import CheckpointProtocol
+from repro.core.config import ISSConfig
+from repro.core.log import Log
+from repro.core.state_transfer import StateRequest, StateResponse, StateTransfer
+from repro.core.types import NIL
+from repro.crypto.signatures import KeyStore
+from tests.conftest import make_batch, make_request
+
+
+class Harness:
+    """Two nodes with checkpoint + state-transfer machinery wired directly."""
+
+    def __init__(self, epoch_length=4, num_nodes=4):
+        self.config = ISSConfig(num_nodes=num_nodes, epoch_length=epoch_length, batch_rate=None)
+        self.key_store = KeyStore(deployment_seed=6)
+        self.sent = []
+        self.logs = {n: Log() for n in range(num_nodes)}
+        self.checkpoints = {}
+        self.transfers = {}
+        for node in range(num_nodes):
+            self.checkpoints[node] = CheckpointProtocol(
+                node_id=node,
+                config=self.config,
+                key_store=self.key_store,
+                broadcast_fn=lambda msg: None,
+                on_stable=lambda epoch, cert: None,
+            )
+            self.transfers[node] = StateTransfer(
+                node_id=node,
+                config=self.config,
+                checkpoints=self.checkpoints[node],
+                send_fn=lambda dst, msg, node=node: self.sent.append((node, dst, msg)),
+                apply_entry_fn=lambda sn, entry, epoch, node=node: self.logs[node].commit(
+                    sn, entry, epoch, now=0.0
+                ),
+            )
+
+    def fill_epoch(self, node, epoch=0):
+        for sn in range(epoch * self.config.epoch_length, (epoch + 1) * self.config.epoch_length):
+            self.logs[node].commit(sn, make_batch(make_request(timestamp=sn)), epoch=epoch, now=0.0)
+
+    def make_stable(self, epoch=0, source_node=0):
+        """Give every node a stable certificate for ``epoch`` built from node 0's log."""
+        for node in range(self.config.num_nodes):
+            self.checkpoints[node]._announced_local.discard(epoch)
+        messages = []
+        for node in range(self.config.num_nodes):
+            proto = self.checkpoints[node]
+            proto.local_epoch_complete(epoch, self.logs[source_node])
+        # Exchange: every protocol already recorded its own; deliver the rest.
+        for node in range(self.config.num_nodes):
+            for other in range(self.config.num_nodes):
+                if other == node:
+                    continue
+                from repro.core.checkpoint import CheckpointMsg, checkpoint_signing_payload, epoch_log_root
+
+                root = epoch_log_root(self.logs[source_node], epoch, self.config.epoch_length)
+                last_sn = (epoch + 1) * self.config.epoch_length - 1
+                payload = checkpoint_signing_payload(epoch, last_sn, root)
+                self.checkpoints[node].handle_message(
+                    other,
+                    CheckpointMsg(
+                        epoch=epoch, last_sn=last_sn, log_root=root, sender=other,
+                        signature=self.key_store.sign(other, payload),
+                    ),
+                )
+
+
+class TestStateTransfer:
+    def test_request_and_apply_roundtrip(self):
+        harness = Harness()
+        harness.fill_epoch(0)
+        harness.fill_epoch(1)  # node 1 is behind with an empty log
+        harness.make_stable(0)
+        harness.transfers[1].request_missing(0, 0, peers=[0])
+        assert harness.sent, "a StateRequest should have been sent"
+        _, dst, request = harness.sent[-1]
+        assert dst == 0 and isinstance(request, StateRequest)
+        responses = harness.transfers[0].build_responses(request, harness.logs[0])
+        assert len(responses) == 1
+        assert harness.transfers[1].handle_response(responses[0], harness.logs[1])
+        assert harness.logs[1].is_complete(range(4))
+        assert harness.transfers[1].transfers_completed == 1
+
+    def test_response_without_stable_checkpoint_not_built(self):
+        harness = Harness()
+        harness.fill_epoch(0)
+        request = StateRequest(first_epoch=0, last_epoch=0)
+        assert harness.transfers[0].build_responses(request, harness.logs[0]) == []
+
+    def test_tampered_entries_rejected(self):
+        harness = Harness()
+        harness.fill_epoch(0)
+        harness.make_stable(0)
+        request = StateRequest(first_epoch=0, last_epoch=0)
+        response = harness.transfers[0].build_responses(request, harness.logs[0])[0]
+        tampered = StateResponse(
+            epoch=0,
+            entries=tuple((sn, NIL) for sn, _ in response.entries),
+            certificate=response.certificate,
+        )
+        harness.transfers[1].request_missing(0, 0, peers=[0])
+        assert not harness.transfers[1].handle_response(tampered, harness.logs[1])
+        assert not harness.logs[1].has_entry(0)
+
+    def test_bad_certificate_rejected(self):
+        harness = Harness()
+        harness.fill_epoch(0)
+        harness.make_stable(0)
+        request = StateRequest(first_epoch=0, last_epoch=0)
+        response = harness.transfers[0].build_responses(request, harness.logs[0])[0]
+        from dataclasses import replace
+
+        broken_cert = replace(response.certificate, signatures=response.certificate.signatures[:1])
+        bad = StateResponse(epoch=0, entries=response.entries, certificate=broken_cert)
+        assert not harness.transfers[1].handle_response(bad, harness.logs[1])
+
+    def test_wrong_sequence_numbers_rejected(self):
+        harness = Harness()
+        harness.fill_epoch(0)
+        harness.make_stable(0)
+        request = StateRequest(first_epoch=0, last_epoch=0)
+        response = harness.transfers[0].build_responses(request, harness.logs[0])[0]
+        shifted = StateResponse(
+            epoch=0,
+            entries=tuple((sn + 1, entry) for sn, entry in response.entries),
+            certificate=response.certificate,
+        )
+        assert not harness.transfers[1].handle_response(shifted, harness.logs[1])
+
+    def test_duplicate_request_not_resent(self):
+        harness = Harness()
+        harness.transfers[1].request_missing(0, 0, peers=[0])
+        sent_before = len(harness.sent)
+        harness.transfers[1].request_missing(0, 0, peers=[0])
+        assert len(harness.sent) == sent_before
+
+    def test_already_complete_epoch_is_accepted_without_reapply(self):
+        harness = Harness()
+        harness.fill_epoch(0)
+        harness.fill_epoch(0 if False else 1)
+        harness.make_stable(0)
+        request = StateRequest(first_epoch=0, last_epoch=0)
+        response = harness.transfers[0].build_responses(request, harness.logs[0])[0]
+        # Node 0 already holds the epoch: handling its own response is a no-op success.
+        assert harness.transfers[0].handle_response(response, harness.logs[0])

@@ -1,0 +1,106 @@
+"""Unit tests for core data types."""
+
+import pytest
+
+from repro.core.types import (
+    Batch,
+    CheckpointCertificate,
+    NIL,
+    Nil,
+    Request,
+    RequestId,
+    SegmentDescriptor,
+    is_nil,
+)
+from tests.conftest import make_request
+
+
+class TestRequest:
+    def test_identity_fields(self):
+        request = make_request(client=7, timestamp=3, payload=b"abc")
+        assert request.client == 7
+        assert request.timestamp == 3
+        assert request.rid == RequestId(client=7, timestamp=3)
+
+    def test_equal_requests_have_equal_digests(self):
+        a = make_request(client=1, timestamp=2, payload=b"x")
+        b = make_request(client=1, timestamp=2, payload=b"x")
+        assert a.digest() == b.digest()
+
+    def test_digest_differs_with_payload(self):
+        a = make_request(payload=b"x")
+        b = make_request(payload=b"y")
+        assert a.digest() != b.digest()
+
+    def test_digest_differs_with_identity(self):
+        a = make_request(client=1, timestamp=1)
+        b = make_request(client=1, timestamp=2)
+        assert a.digest() != b.digest()
+
+    def test_digest_is_cached_and_stable(self):
+        request = make_request(payload=b"payload")
+        assert request.digest() is request.digest()
+
+    def test_size_includes_payload_and_signature(self):
+        request = Request(rid=RequestId(0, 0), payload=b"x" * 100, signature=b"s" * 64)
+        assert request.size_bytes() == 100 + 16 + 64
+
+    def test_request_id_ordering(self):
+        assert RequestId(0, 1) < RequestId(0, 2) < RequestId(1, 0)
+
+
+class TestBatch:
+    def test_len_and_iteration(self):
+        requests = [make_request(timestamp=i) for i in range(3)]
+        batch = Batch.of(requests)
+        assert len(batch) == 3
+        assert list(batch) == requests
+
+    def test_empty_batch_is_truthy_but_distinct_from_nil(self):
+        batch = Batch.of(())
+        assert batch
+        assert not is_nil(batch)
+        assert not NIL
+
+    def test_batch_digest_depends_on_order(self):
+        a, b = make_request(timestamp=1), make_request(timestamp=2)
+        assert Batch.of([a, b]).digest() != Batch.of([b, a]).digest()
+
+    def test_batch_digest_deterministic(self):
+        requests = [make_request(timestamp=i) for i in range(5)]
+        assert Batch.of(requests).digest() == Batch.of(list(requests)).digest()
+
+    def test_batch_size_bytes(self):
+        requests = [make_request(timestamp=i, payload=b"p" * 10) for i in range(4)]
+        batch = Batch.of(requests)
+        assert batch.size_bytes() == 32 + sum(r.size_bytes() for r in requests)
+
+
+class TestNil:
+    def test_nil_is_singleton(self):
+        assert Nil() is NIL
+
+    def test_is_nil(self):
+        assert is_nil(NIL)
+        assert not is_nil(Batch.of(()))
+        assert not is_nil(None)
+
+    def test_nil_digest_stable(self):
+        assert NIL.digest() == Nil().digest()
+
+
+class TestSegmentDescriptor:
+    def test_instance_id_and_membership(self):
+        segment = SegmentDescriptor(epoch=2, leader=1, seq_nrs=(1, 4, 7), buckets=(0, 3))
+        assert segment.instance_id == (2, 1)
+        assert 4 in segment
+        assert 5 not in segment
+        assert len(segment) == 3
+
+
+class TestCheckpointCertificate:
+    def test_signers(self):
+        certificate = CheckpointCertificate(
+            epoch=1, last_sn=15, log_root=b"r", signatures=((0, b"a"), (2, b"b"))
+        )
+        assert list(certificate.signers()) == [0, 2]

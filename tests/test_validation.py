@@ -1,0 +1,122 @@
+"""Unit tests for request validation and client watermarks (Section 3.7)."""
+
+import pytest
+
+from repro.core.validation import (
+    ClientWatermarks,
+    RequestValidator,
+    request_signing_payload,
+    sign_request,
+)
+from repro.crypto.signatures import KeyStore
+from repro.core.types import Request, RequestId
+from tests.conftest import make_request
+
+
+class TestClientWatermarks:
+    def test_initial_window(self):
+        marks = ClientWatermarks(window=4)
+        assert marks.in_window(0, 0)
+        assert marks.in_window(0, 3)
+        assert not marks.in_window(0, 4)
+
+    def test_window_advances_over_contiguous_prefix(self):
+        marks = ClientWatermarks(window=4)
+        for ts in range(3):
+            marks.note_delivered(0, ts)
+        marks.advance_epoch()
+        assert marks.low_watermark(0) == 3
+        assert marks.in_window(0, 6)
+        assert not marks.in_window(0, 7)
+        assert not marks.in_window(0, 2)
+
+    def test_gap_blocks_advancement(self):
+        marks = ClientWatermarks(window=4)
+        marks.note_delivered(0, 0)
+        marks.note_delivered(0, 2)  # 1 missing
+        marks.advance_epoch()
+        assert marks.low_watermark(0) == 1
+
+    def test_out_of_order_delivery_eventually_advances(self):
+        marks = ClientWatermarks(window=8)
+        for ts in (2, 0, 1, 3):
+            marks.note_delivered(0, ts)
+        marks.advance_epoch()
+        assert marks.low_watermark(0) == 4
+
+    def test_no_advance_before_epoch_transition(self):
+        marks = ClientWatermarks(window=4)
+        marks.note_delivered(0, 0)
+        assert marks.low_watermark(0) == 0
+
+    def test_per_client_isolation(self):
+        marks = ClientWatermarks(window=4)
+        marks.note_delivered(0, 0)
+        marks.advance_epoch()
+        assert marks.low_watermark(0) == 1
+        assert marks.low_watermark(1) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ClientWatermarks(0)
+
+
+class TestRequestValidator:
+    def make_validator(self, window=16, verify=True, clients=(0, 1, 2)):
+        key_store = KeyStore(deployment_seed=4)
+        marks = ClientWatermarks(window=window)
+        return key_store, RequestValidator(key_store, clients, marks, verify_signatures=verify)
+
+    def test_valid_signed_request_accepted(self):
+        key_store, validator = self.make_validator()
+        request = sign_request(key_store, make_request(client=1, timestamp=0))
+        assert validator.is_valid(request)
+        assert validator.stats.accepted == 1
+
+    def test_unknown_client_rejected(self):
+        key_store, validator = self.make_validator()
+        request = sign_request(key_store, make_request(client=9, timestamp=0))
+        assert not validator.is_valid(request)
+        assert validator.stats.unknown_client == 1
+
+    def test_bad_signature_rejected(self):
+        key_store, validator = self.make_validator()
+        request = make_request(client=1, timestamp=0)  # unsigned
+        assert not validator.is_valid(request)
+        assert validator.stats.bad_signature == 1
+
+    def test_forged_signature_rejected(self):
+        key_store, validator = self.make_validator()
+        honest = sign_request(key_store, make_request(client=1, timestamp=0))
+        forged = Request(rid=RequestId(2, 0), payload=honest.payload, signature=honest.signature)
+        assert not validator.is_valid(forged)
+
+    def test_outside_watermarks_rejected(self):
+        key_store, validator = self.make_validator(window=4)
+        request = sign_request(key_store, make_request(client=1, timestamp=10))
+        assert not validator.is_valid(request)
+        assert validator.stats.outside_watermarks == 1
+
+    def test_signature_verification_can_be_disabled(self):
+        _, validator = self.make_validator(verify=False)
+        assert validator.is_valid(make_request(client=1, timestamp=0))
+
+    def test_add_client(self):
+        key_store, validator = self.make_validator()
+        request = sign_request(key_store, make_request(client=7, timestamp=0))
+        assert not validator.is_valid(request)
+        validator.add_client(7)
+        assert validator.is_valid(request)
+
+    def test_rejected_counter_totals(self):
+        key_store, validator = self.make_validator(window=2)
+        validator.is_valid(make_request(client=9))
+        validator.is_valid(sign_request(key_store, make_request(client=1, timestamp=5)))
+        validator.is_valid(make_request(client=1, timestamp=0))
+        assert validator.stats.rejected == 3
+
+    def test_signing_payload_covers_identity_and_payload(self):
+        a = request_signing_payload(make_request(client=1, timestamp=2, payload=b"x"))
+        b = request_signing_payload(make_request(client=1, timestamp=2, payload=b"y"))
+        c = request_signing_payload(make_request(client=1, timestamp=3, payload=b"x"))
+        assert a != b and a != c

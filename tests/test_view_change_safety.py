@@ -1,0 +1,93 @@
+"""Safety-oriented tests: values prepared before a view change survive it.
+
+These tests target the trickiest part of wrapping PBFT/HotStuff in Sequenced
+Broadcast: after the segment leader is suspected, a later view/round may only
+re-propose values the original leader got prepared/certified — never invent
+new ones — and positions without such values terminate as ⊥.
+"""
+
+import pytest
+
+from repro.core.types import NIL, SegmentDescriptor, is_nil
+from repro.pbft.pbft import PbftSB
+from repro.hotstuff.hotstuff import HotStuffSB
+from tests.conftest import SBTestBed
+
+
+class TestPbftViewChangeSafety:
+    def test_prepared_value_survives_view_change(self):
+        """Partition the leader right after proposals go out: followers that
+        prepared a value must re-commit that same value in the new view."""
+        segment = SegmentDescriptor(epoch=0, leader=0, seq_nrs=(0, 1, 2, 3), buckets=(0,))
+        bed = SBTestBed(4, lambda ctx: PbftSB(ctx), segment=segment)
+        bed.feed_requests(0, 16)
+        bed.start_all()
+        # Let proposals and (some) prepares flow, then cut the leader off.
+        bed.run(until=0.3)
+        snapshot = {sn: v for sn, v in bed.delivered[1].items()}
+        bed.crash(0)
+        bed.run(until=40.0)
+        bed.assert_termination()
+        bed.assert_agreement()
+        # Whatever had committed at node 1 before the crash still has the
+        # same value afterwards at every correct node (agreement implies it,
+        # but check explicitly against the snapshot).
+        for sn, value in snapshot.items():
+            for node in (1, 2, 3):
+                after = bed.delivered[node][sn]
+                assert is_nil(value) == is_nil(after)
+                if not is_nil(value):
+                    assert after.digest() == value.digest()
+
+    def test_new_view_does_not_invent_batches(self):
+        """After the leader crashes *before* proposing, only ⊥ can commit."""
+        segment = SegmentDescriptor(epoch=0, leader=0, seq_nrs=(0, 1), buckets=(0,))
+        bed = SBTestBed(4, lambda ctx: PbftSB(ctx), segment=segment)
+        bed.feed_requests(1, 8, client=5)  # follower 1 has requests, leader has none
+        bed.crash(0)
+        bed.start([1, 2, 3])
+        bed.run(until=30.0)
+        bed.assert_termination()
+        for node in (1, 2, 3):
+            assert all(is_nil(v) for v in bed.delivered[node].values())
+
+    def test_repeated_view_changes_converge(self):
+        """Two consecutive crashed primaries still lead to termination."""
+        segment = SegmentDescriptor(epoch=0, leader=0, seq_nrs=(0, 1), buckets=(0,))
+        bed = SBTestBed(7, lambda ctx: PbftSB(ctx), segment=segment)
+        bed.crash(0)   # segment leader (view-0 primary)
+        bed.crash(1)   # view-1 primary
+        bed.start([2, 3, 4, 5, 6])
+        bed.run(until=60.0)
+        bed.assert_termination([2, 3, 4, 5, 6])
+        bed.assert_agreement()
+
+
+class TestHotStuffRoundChangeSafety:
+    def test_certified_value_survives_round_change(self):
+        segment = SegmentDescriptor(epoch=0, leader=0, seq_nrs=(0, 1, 2, 3), buckets=(0,))
+        bed = SBTestBed(4, lambda ctx: HotStuffSB(ctx), segment=segment)
+        bed.feed_requests(0, 16)
+        bed.start_all()
+        bed.run(until=1.2)
+        snapshot = {sn: v for sn, v in bed.delivered[2].items()}
+        bed.crash(0)
+        bed.run(until=80.0)
+        bed.assert_termination()
+        bed.assert_agreement()
+        for sn, value in snapshot.items():
+            for node in (1, 2, 3):
+                after = bed.delivered[node][sn]
+                assert is_nil(value) == is_nil(after)
+                if not is_nil(value):
+                    assert after.digest() == value.digest()
+
+    def test_failover_round_only_delivers_nil_for_unproposed(self):
+        segment = SegmentDescriptor(epoch=0, leader=0, seq_nrs=(0, 1), buckets=(0,))
+        bed = SBTestBed(4, lambda ctx: HotStuffSB(ctx), segment=segment)
+        bed.crash(0)
+        bed.start([1, 2, 3])
+        bed.run(until=80.0)
+        bed.assert_termination([1, 2, 3])
+        for node in (1, 2, 3):
+            assert all(is_nil(v) for v in bed.delivered[node].values())
