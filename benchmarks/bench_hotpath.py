@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Microbenchmarks for the simulation fast paths.
+
+Times the individual hot paths that dominate large runs (see PERF.md):
+the simulator's allocation-free event dispatch, Timer-based dispatch and
+cancellation compaction, ``Network.send``, request-id hashing, memoized
+signature verification, and the bucket-pool request cycle.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--json out.json]
+
+Each benchmark reports operations per second; higher is better.  These are
+microbenchmarks for diagnosing *which* layer regressed — the end-to-end
+number that gates CI lives in ``benchmarks/run_perf_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.buckets import BucketPool  # noqa: E402
+from repro.core.config import NetworkConfig  # noqa: E402
+from repro.core.types import Request, RequestId  # noqa: E402
+from repro.core.validation import request_signing_payload, sign_request  # noqa: E402
+from repro.crypto.signatures import KeyStore  # noqa: E402
+from repro.metrics.report import format_table, print_banner  # noqa: E402
+from repro.sim.latency import LatencyModel  # noqa: E402
+from repro.sim.network import Network  # noqa: E402
+from repro.sim.simulator import Simulator  # noqa: E402
+
+
+def _timed(fn, ops: int) -> float:
+    """Run ``fn`` once and return operations per second."""
+    start = time.perf_counter()
+    fn()
+    elapsed = time.perf_counter() - start
+    return ops / elapsed if elapsed > 0 else float("inf")
+
+
+def bench_sim_fast_dispatch(n: int = 200_000) -> float:
+    """schedule_callback + run: the per-message delivery path."""
+    sim = Simulator(seed=1)
+
+    def run():
+        noop = lambda: None  # noqa: E731
+        for i in range(n):
+            sim.schedule_callback(i * 1e-6, noop)
+        sim.run()
+
+    return _timed(run, n)
+
+
+def bench_sim_timer_dispatch(n: int = 200_000) -> float:
+    """schedule (Timer handle) + run: the cancellable-timeout path."""
+    sim = Simulator(seed=1)
+
+    def run():
+        noop = lambda: None  # noqa: E731
+        for i in range(n):
+            sim.schedule(i * 1e-6, noop)
+        sim.run()
+
+    return _timed(run, n)
+
+
+def bench_timer_cancel(n: int = 200_000) -> float:
+    """Schedule timers and cancel 90% of them (exercises lazy compaction)."""
+    sim = Simulator(seed=1)
+
+    def run():
+        noop = lambda: None  # noqa: E731
+        timers = [sim.schedule(i * 1e-6, noop) for i in range(n)]
+        for index, timer in enumerate(timers):
+            if index % 10:
+                timer.cancel()
+        sim.run()
+        assert sim.pending_events() == 0
+
+    return _timed(run, n)
+
+
+def bench_network_send(n: int = 100_000) -> float:
+    """Point-to-point sends through the full NIC/latency model."""
+    sim = Simulator(seed=1)
+    config = NetworkConfig()
+    network = Network(sim, config, LatencyModel(config, 4))
+    for node in range(4):
+        network.register(node, lambda src, msg: None)
+
+    def run():
+        for i in range(n):
+            network.send(i & 3, (i + 1) & 3, "ping")
+        sim.run()
+
+    return _timed(run, n)
+
+
+def bench_request_hashing(n: int = 500_000) -> float:
+    """Set membership over request ids (cached hash fast path)."""
+    rids = [RequestId(client=i & 15, timestamp=i) for i in range(2000)]
+    seen = set(rids)
+
+    def run():
+        for i in range(n):
+            _ = rids[i % 2000] in seen
+
+    return _timed(run, n)
+
+
+def bench_verify_cached(n: int = 20_000) -> float:
+    """Re-verification of an already-verified request (memoized path)."""
+    store = KeyStore(deployment_seed=3)
+    request = sign_request(
+        store, Request(rid=RequestId(client=1, timestamp=1), payload=b"x" * 500)
+    )
+    digest = request.digest()
+    payload = request_signing_payload(request)
+    store.verify_digest(1, digest, request.signature, lambda: payload)  # warm
+
+    def run():
+        for _ in range(n):
+            store.verify_digest(1, digest, request.signature, lambda: payload)
+
+    return _timed(run, n)
+
+
+def bench_verify_cold(n: int = 5_000) -> float:
+    """First-time verification (one HMAC per unique request)."""
+    store = KeyStore(deployment_seed=3)
+    requests = [
+        sign_request(store, Request(rid=RequestId(client=1, timestamp=t), payload=b"x" * 500))
+        for t in range(n)
+    ]
+    cold_store = KeyStore(deployment_seed=3)
+
+    def run():
+        for request in requests:
+            cold_store.verify_digest(
+                request.rid.client,
+                request.digest(),
+                request.signature,
+                lambda r=request: request_signing_payload(r),
+            )
+
+    return _timed(run, n)
+
+
+def bench_bucket_cycle(n: int = 50_000) -> float:
+    """add_request → cut_batch → mark_delivered over a realistic pool."""
+    pool = BucketPool(num_buckets=128)
+    requests = [
+        Request(rid=RequestId(client=i & 15, timestamp=i >> 4), payload=b"x" * 32)
+        for i in range(n)
+    ]
+    buckets = list(range(128))
+
+    def run():
+        for request in requests:
+            pool.add_request(request)
+        while True:
+            batch = pool.cut_batch(buckets, 2048)
+            if not batch:
+                break
+            for request in batch:
+                pool.mark_delivered(request)
+
+    return _timed(run, n)
+
+
+BENCHMARKS = [
+    ("sim fast dispatch", bench_sim_fast_dispatch, "schedule_callback + run, per event"),
+    ("sim timer dispatch", bench_sim_timer_dispatch, "schedule (Timer) + run, per event"),
+    ("timer cancel 90%", bench_timer_cancel, "schedule + cancel + compaction, per timer"),
+    ("network send", bench_network_send, "full NIC/latency send, per message"),
+    ("request-id set probe", bench_request_hashing, "cached-hash set membership, per probe"),
+    ("verify (memoized)", bench_verify_cached, "re-verification dict hit, per verify"),
+    ("verify (cold)", bench_verify_cold, "first verification incl. HMAC, per verify"),
+    ("bucket cycle", bench_bucket_cycle, "add + cut + mark_delivered, per request"),
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="hot-path microbenchmarks")
+    parser.add_argument("--json", default=None, help="also write results to this JSON file")
+    args = parser.parse_args(argv)
+
+    print_banner("Hot-path microbenchmarks (ops/s, higher is better)")
+    rows = []
+    results = {}
+    for name, fn, what in BENCHMARKS:
+        ops_per_sec = fn()
+        results[name] = round(ops_per_sec, 1)
+        rows.append([name, f"{ops_per_sec:,.0f}", what])
+        print(f"  {name:<22} {ops_per_sec:>12,.0f} ops/s")
+    print()
+    print(format_table(["benchmark", "ops/s", "measures"], rows))
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

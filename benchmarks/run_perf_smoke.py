@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""CI entry point for the hot-path perf smoke test.
+
+Equivalent to ``python -m repro.perf_smoke``; see that module (and PERF.md)
+for the scenario, the output format and the regression-check semantics.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf_smoke.py [--update-baseline]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.perf_smoke import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

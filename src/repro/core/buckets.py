@@ -35,10 +35,10 @@ def bucket_of(rid: RequestId, num_buckets: int) -> BucketId:
     """
     if num_buckets < 1:
         raise ValueError("num_buckets must be >= 1")
-    # A small mixing step keeps consecutive timestamps of one client from
-    # all landing in consecutive buckets while remaining deterministic.
-    mixed = (rid.client * 0x9E3779B1 + rid.timestamp * 0x85EBCA77) & 0xFFFFFFFFFFFFFFFF
-    return mixed % num_buckets
+    # The mixing step keeps consecutive timestamps of one client from all
+    # landing in consecutive buckets while remaining deterministic; the mixed
+    # value is precomputed at RequestId construction (``_mix``).
+    return rid._mix % num_buckets
 
 
 # --------------------------------------------------------------------------
@@ -247,41 +247,46 @@ class BucketPool:
         self._queues: Dict[BucketId, BucketQueue] = {
             b: BucketQueue(b) for b in range(num_buckets)
         }
-        self._delivered: Set[RequestId] = set()
+        #: Request ids delivered at this node; read directly by hot loops
+        #: (batch validation), mutated only through :meth:`mark_delivered`.
+        self.delivered: Set[RequestId] = set()
 
     def queue(self, bucket: BucketId) -> BucketQueue:
         return self._queues[bucket]
 
     def bucket_of(self, rid: RequestId) -> BucketId:
-        return bucket_of(rid, self.num_buckets)
+        return rid._mix % self.num_buckets
 
     def add_request(self, request: Request) -> bool:
         """Add a request to its bucket unless it was already delivered."""
-        if request.rid in self._delivered:
+        rid = request.rid
+        if rid in self.delivered:
             return False
-        return self._queues[self.bucket_of(request.rid)].add(request)
+        return self._queues[rid._mix % self.num_buckets].add(request)
 
     def remove_request(self, rid: RequestId) -> Optional[Request]:
-        return self._queues[self.bucket_of(rid)].remove(rid)
+        return self._queues[rid._mix % self.num_buckets].remove(rid)
 
     def mark_delivered(self, request: Request) -> None:
         """Record delivery and drop the request from its pending queue."""
-        self._delivered.add(request.rid)
-        queue = self._queues[self.bucket_of(request.rid)]
-        queue.remove(request.rid)
-        queue.forget_history(request.rid)
+        rid = request.rid
+        self.delivered.add(rid)
+        queue = self._queues[rid._mix % self.num_buckets]
+        queue.remove(rid)
+        queue.forget_history(rid)
 
     def is_delivered(self, rid: RequestId) -> bool:
-        return rid in self._delivered
+        return rid in self.delivered
 
     def resurrect(self, requests: Iterable[Request]) -> None:
         """Return unsuccessfully proposed requests to their queues
         (Algorithm 2, ``resurrectRequests``), skipping any that committed in
         the meantime."""
         for request in requests:
-            if request.rid in self._delivered:
+            rid = request.rid
+            if rid in self.delivered:
                 continue
-            self._queues[self.bucket_of(request.rid)].resurrect(request)
+            self._queues[rid._mix % self.num_buckets].resurrect(request)
 
     def pending_in(self, buckets: Iterable[BucketId]) -> int:
         """Number of pending requests across the given buckets."""
@@ -323,4 +328,4 @@ class BucketPool:
         return sum(len(q) for q in self._queues.values())
 
     def delivered_count(self) -> int:
-        return len(self._delivered)
+        return len(self.delivered)

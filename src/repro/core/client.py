@@ -23,6 +23,7 @@ from .config import ISSConfig
 from .messages import (
     BucketAssignmentMsg,
     ClientRequestMsg,
+    ClientResponseBatchMsg,
     ClientResponseMsg,
     client_endpoint,
 )
@@ -133,13 +134,18 @@ class Client:
 
     # -------------------------------------------------------------- messages
     def on_message(self, src: NodeId, message: object) -> None:
-        if isinstance(message, ClientResponseMsg):
-            self._on_response(src, message)
+        if isinstance(message, ClientResponseBatchMsg):
+            # Aggregated acknowledgements: each entry counts exactly as an
+            # individually received response for its request.
+            for rid, _sn in message.entries:
+                self._note_response(src, rid)
+        elif isinstance(message, ClientResponseMsg):
+            self._note_response(src, message.rid)
         elif isinstance(message, BucketAssignmentMsg):
             self._on_assignment(src, message)
 
-    def _on_response(self, src: NodeId, message: ClientResponseMsg) -> None:
-        pending = self._pending.get(message.rid)
+    def _note_response(self, src: NodeId, rid: RequestId) -> None:
+        pending = self._pending.get(rid)
         if pending is None or pending.completed:
             return
         pending.responders.add(src)
@@ -150,7 +156,7 @@ class Client:
                 self.on_complete(
                     self.client_id, pending.request, pending.submitted_at, self.sim.now
                 )
-            del self._pending[message.rid]
+            del self._pending[rid]
 
     def _on_assignment(self, src: NodeId, message: BucketAssignmentMsg) -> None:
         if self._assignment_epoch is not None and message.epoch <= self._assignment_epoch:

@@ -32,7 +32,7 @@ from .manager import EpochManager
 from .messages import (
     BucketAssignmentMsg,
     ClientRequestMsg,
-    ClientResponseMsg,
+    ClientResponseBatchMsg,
     InstanceMessage,
     client_endpoint,
 )
@@ -214,13 +214,38 @@ class ISSNode:
         return self.buckets.add_request(request)
 
     def _send_client_response(self, rid, sn: int) -> None:
+        """Acknowledge a single request (used for re-transmission re-acks)."""
         if not self.config.send_client_responses:
             return
         self.network.send(
             self.node_id,
             client_endpoint(rid.client),
-            ClientResponseMsg(rid=rid, sn=sn, node=self.node_id),
+            ClientResponseBatchMsg(
+                client=rid.client, entries=((rid, sn),), node=self.node_id
+            ),
         )
+
+    def _send_delivery_responses(self, delivered: Sequence[DeliveredRequest]) -> None:
+        """Acknowledge a commit step's deliveries, aggregated per client.
+
+        One ⟨RESPONSE⟩ message per (client, commit step) instead of one per
+        request: same information reaches the same clients, with per-request
+        completion semantics preserved by the entry list.
+        """
+        groups: Dict[int, List[Tuple[object, int]]] = {}
+        for item in delivered:
+            rid = item.request.rid
+            group = groups.get(rid.client)
+            if group is None:
+                groups[rid.client] = group = []
+            group.append((rid, item.sn))
+        node = self.node_id
+        for client, entries in groups.items():
+            self.network.send(
+                node,
+                client_endpoint(client),
+                ClientResponseBatchMsg(client=client, entries=tuple(entries), node=node),
+            )
 
     # ============================================================ epoch logic
     def _start_epoch(self, epoch: EpochNr) -> None:
@@ -303,22 +328,31 @@ class ISSNode:
     def _validate_batch(self, segment: SegmentDescriptor, batch: Batch) -> bool:
         """Follower acceptance rules (a)–(c) of Section 4.2."""
         digest = batch.digest()
+        requests = batch.requests
+        allowed_buckets = segment.bucket_set()
+        num_buckets = self.buckets.num_buckets
+        delivered = self.buckets.delivered
+        proposed = self._proposed_this_epoch
+        proposed_get = proposed.get
+        is_valid = self.validator.is_valid
         seen_in_batch = set()
-        for request in batch.requests:
-            if request.rid in seen_in_batch:
+        seen_add = seen_in_batch.add
+        for request in requests:
+            rid = request.rid
+            if rid in seen_in_batch:
                 return False
-            seen_in_batch.add(request.rid)
-            if self.buckets.bucket_of(request.rid) not in segment.buckets:
+            seen_add(rid)
+            if rid._mix % num_buckets not in allowed_buckets:
                 return False
-            if self.buckets.is_delivered(request.rid):
+            if rid in delivered:
                 return False
-            earlier = self._proposed_this_epoch.get(request.rid)
+            earlier = proposed_get(rid)
             if earlier is not None and earlier != digest:
                 return False
-            if not self.validator.is_valid(request):
+            if not is_valid(request):
                 return False
-        for request in batch.requests:
-            self._proposed_this_epoch[request.rid] = digest
+        for request in requests:
+            proposed[request.rid] = digest
         return True
 
     # ================================================================ delivery
@@ -357,10 +391,14 @@ class ISSNode:
     def _after_commit(self) -> None:
         """Advance contiguous delivery and epoch state after any commit."""
         delivered = self.log.advance_delivery(self.sim.now)
-        for item in delivered:
-            self._send_client_response(item.request.rid, item.sn)
-            if self.on_deliver is not None:
-                self.on_deliver(self.node_id, item)
+        if delivered:
+            if self.config.send_client_responses:
+                self._send_delivery_responses(delivered)
+            on_deliver = self.on_deliver
+            if on_deliver is not None:
+                node_id = self.node_id
+                for item in delivered:
+                    on_deliver(node_id, item)
         # Epoch transitions: the current epoch may now be complete; epochs are
         # processed strictly sequentially (Algorithm 1, line 50).
         while self.manager.epoch_complete(self.current_epoch, self.log) and not self.crashed:

@@ -67,22 +67,31 @@ class Log:
         per-request sequence number from Equation (2).
         """
         delivered: List[DeliveredRequest] = []
-        while self._first_undelivered in self._entries:
-            committed = self._entries[self._first_undelivered]
+        append = delivered.append
+        entries = self._entries
+        next_request_sn = self._total_delivered_requests
+        while True:
+            committed = entries.get(self._first_undelivered)
+            if committed is None:
+                break
             self._delivered_batches.append(committed)
-            if not is_nil(committed.entry):
-                for request in committed.entry.requests:
-                    delivered.append(
+            entry = committed.entry
+            if entry is not NIL:
+                batch_sn = committed.sn
+                epoch = committed.epoch
+                for request in entry.requests:
+                    append(
                         DeliveredRequest(
                             request=request,
-                            sn=self._total_delivered_requests,
-                            batch_sn=committed.sn,
-                            epoch=committed.epoch,
+                            sn=next_request_sn,
+                            batch_sn=batch_sn,
+                            epoch=epoch,
                             delivered_at=now,
                         )
                     )
-                    self._total_delivered_requests += 1
+                    next_request_sn += 1
             self._first_undelivered += 1
+        self._total_delivered_requests = next_request_sn
         return delivered
 
     # ------------------------------------------------------------- queries

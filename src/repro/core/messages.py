@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..sim.network import wire_size
-from .types import BucketId, EpochNr, NodeId, Request, RequestId, SeqNr
+from .types import BucketId, ClientId, EpochNr, NodeId, Request, RequestId, SeqNr
 
 #: Network endpoint ids of clients start here so they never collide with nodes.
 CLIENT_ENDPOINT_OFFSET = 1_000_000
@@ -50,7 +50,13 @@ class ClientRequestMsg:
 
 @dataclass(frozen=True)
 class ClientResponseMsg:
-    """A node's acknowledgement that it delivered the client's request."""
+    """A node's acknowledgement that it delivered the client's request.
+
+    Kept as the single-request form (re-acknowledgements of retransmitted
+    requests, tests); the delivery fast path aggregates acknowledgements into
+    :class:`ClientResponseBatchMsg` instead of sending one of these per
+    request.
+    """
 
     rid: RequestId
     sn: int
@@ -58,6 +64,29 @@ class ClientResponseMsg:
 
     def wire_size(self) -> int:
         return 48
+
+
+@dataclass(frozen=True)
+class ClientResponseBatchMsg:
+    """A node's acknowledgement for *all* of one client's requests delivered
+    by one commit step.
+
+    Aggregating the per-request ⟨RESPONSE⟩ messages per (client, batch) cuts
+    the dominant message count of large runs by the batch size while leaving
+    per-request completion semantics at the client unchanged: every ``(rid,
+    sn)`` entry is processed exactly as if it had arrived in its own
+    :class:`ClientResponseMsg`.
+    """
+
+    client: ClientId
+    #: ``(request id, per-request sequence number)`` pairs; ``sn == -1``
+    #: re-acknowledges an already-delivered retransmission.
+    entries: Tuple[Tuple[RequestId, int], ...]
+    node: NodeId
+
+    def wire_size(self) -> int:
+        # Header plus (rid 16B + sn 8B) per acknowledged request.
+        return 32 + 24 * len(self.entries)
 
 
 @dataclass(frozen=True)

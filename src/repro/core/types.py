@@ -32,10 +32,28 @@ class RequestId:
     increasing per client, bounded by the client watermark window) and
     ``client`` is the client identity (an integer standing in for the
     client's public key).
+
+    Request ids key every hot collection in the system (bucket queues,
+    delivered sets, validation caches), so the hash and the bucket-mixing
+    value are computed once at construction instead of per lookup.
     """
 
     client: ClientId
     timestamp: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.client, self.timestamp)))
+        # Mixing constant shared with repro.core.buckets.bucket_of: keeps
+        # consecutive timestamps of one client out of consecutive buckets.
+        object.__setattr__(
+            self,
+            "_mix",
+            (self.client * 0x9E3779B1 + self.timestamp * 0x85EBCA77)
+            & 0xFFFFFFFFFFFFFFFF,
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"req(c={self.client},t={self.timestamp})"
@@ -80,7 +98,11 @@ class Request:
         return digest
 
     def __hash__(self) -> int:
-        return hash((self.rid, self.payload))
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.rid, self.payload))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -168,13 +190,16 @@ def is_nil(entry: object) -> bool:
     return entry is NIL
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveredRequest:
     """A request delivered by the SMR service with its final order.
 
     ``sn`` is the per-request sequence number computed by Equation (2) in the
     paper: the global rank of the request across all delivered batches.
     ``batch_sn`` is the log position of the batch the request arrived in.
+
+    One instance is created per request per node per run; ``slots`` keeps
+    construction and attribute access cheap while staying frozen/hashable.
     """
 
     request: Request
@@ -201,6 +226,15 @@ class SegmentDescriptor:
     def instance_id(self) -> Tuple[EpochNr, NodeId]:
         """Unique identifier of the SB instance serving this segment."""
         return (self.epoch, self.leader)
+
+    def bucket_set(self) -> frozenset:
+        """The segment's buckets as a frozenset (cached; used by the
+        per-request membership check in batch validation)."""
+        cached = self.__dict__.get("_bucket_set")
+        if cached is None:
+            cached = frozenset(self.buckets)
+            object.__setattr__(self, "_bucket_set", cached)
+        return cached
 
     def __contains__(self, sn: SeqNr) -> bool:
         return sn in self.seq_nrs

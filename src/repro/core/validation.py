@@ -57,7 +57,7 @@ class ClientWatermarks:
         return self._low.get(client, 0)
 
     def in_window(self, client: ClientId, timestamp: int) -> bool:
-        low = self.low_watermark(client)
+        low = self._low.get(client, 0)
         return low <= timestamp < low + self.window
 
     def note_delivered(self, client: ClientId, timestamp: int) -> None:
@@ -65,12 +65,15 @@ class ClientWatermarks:
         prefix = self._prefix.get(client, 0)
         if timestamp < prefix:
             return
-        pending = self._out_of_order.setdefault(client, set())
+        pending = self._out_of_order.get(client)
+        if pending is None:
+            pending = self._out_of_order[client] = set()
         pending.add(timestamp)
-        while prefix in pending:
-            pending.discard(prefix)
-            prefix += 1
-        self._prefix[client] = prefix
+        if timestamp == prefix:
+            while prefix in pending:
+                pending.discard(prefix)
+                prefix += 1
+            self._prefix[client] = prefix
 
     def advance_epoch(self) -> None:
         """Advance every client's window at an epoch transition."""
@@ -110,27 +113,35 @@ class RequestValidator:
         #: Requests whose signature this node already verified (a node sees
         #: the same request on reception and again inside proposals; the
         #: crypto result cannot change, so re-verification is skipped).
-        self._verified: Set[tuple] = set()
+        #: Keyed by the Request object — its hash covers (rid, payload) and is
+        #: cached on the instance, so a hit costs one set probe.
+        self._verified: Set[Request] = set()
 
     def add_client(self, client: ClientId) -> None:
         self.known_clients.add(client)
 
     def is_valid(self, request: Request) -> bool:
         """Full validity check; updates :attr:`stats` with the outcome."""
-        if request.rid.client not in self.known_clients:
+        rid = request.rid
+        if rid.client not in self.known_clients:
             self.stats.unknown_client += 1
             return False
-        if not self.watermarks.in_window(request.rid.client, request.rid.timestamp):
+        if not self.watermarks.in_window(rid.client, rid.timestamp):
             self.stats.outside_watermarks += 1
             return False
         if self.verify_signatures:
-            cache_key = (request.rid, request.signature)
-            if cache_key not in self._verified:
-                if not self.key_store.verify(
-                    request.rid.client, request_signing_payload(request), request.signature
+            if request not in self._verified:
+                # Shared O(1) re-verification: the key store memoizes the
+                # outcome by (identity, digest, signature), so only the first
+                # validator in the deployment pays for the HMAC.
+                if not self.key_store.verify_digest(
+                    rid.client,
+                    request.digest(),
+                    request.signature,
+                    lambda: request_signing_payload(request),
                 ):
                     self.stats.bad_signature += 1
                     return False
-                self._verified.add(cache_key)
+                self._verified.add(request)
         self.stats.accepted += 1
         return True

@@ -20,7 +20,7 @@ from __future__ import annotations
 import hmac
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 #: Wire size of a simulated signature (matches ECDSA P-256).
 SIGNATURE_SIZE = 64
@@ -56,6 +56,18 @@ class KeyStore:
     def __init__(self, deployment_seed: int = 0):
         self._seed = deployment_seed
         self._keys: Dict[int, KeyPair] = {}
+        #: Expected signature per (identity, message), populated by
+        #: :meth:`verify` (protocol messages such as checkpoints, which every
+        #: node re-verifies): the HMAC is computed once and re-verifications
+        #: reduce to a dict hit + constant-time comparison.  Sound because
+        #: signing here is deterministic.  The request path goes through
+        #: :meth:`verify_digest` instead, which memoizes only the outcome and
+        #: never retains message bytes.
+        self._expected: Dict[Tuple[int, bytes], bytes] = {}
+        #: Memoized verification outcomes keyed by (identity, digest,
+        #: signature) — the O(1) re-verification path used by
+        #: :class:`repro.core.validation.RequestValidator`.
+        self._verified: Dict[Tuple[int, bytes, bytes], bool] = {}
 
     def _derive(self, identity: int) -> KeyPair:
         seed_material = self._seed.to_bytes(8, "little", signed=True) + identity.to_bytes(
@@ -85,8 +97,43 @@ class KeyStore:
         """Check that ``signature`` was produced by ``identity`` over ``message``."""
         if len(signature) != SIGNATURE_SIZE:
             return False
-        expected = self.sign(identity, message)
+        key = (identity, message)
+        expected = self._expected.get(key)
+        if expected is None:
+            expected = self.sign(identity, message)
+            self._expected[key] = expected
         return hmac.compare_digest(expected, signature)
+
+    def verify_digest(
+        self,
+        identity: int,
+        digest: bytes,
+        signature: bytes,
+        message_fn: Callable[[], bytes],
+    ) -> bool:
+        """Memoized verification keyed by ``(identity, digest, signature)``.
+
+        ``digest`` must be a collision-resistant digest of the signed message
+        (e.g. :meth:`repro.core.types.Request.digest`); ``message_fn`` builds
+        the full message bytes and is only invoked on a cache miss.  Repeated
+        verification of the same request — on reception, inside proposals,
+        and again at commit, across all validators sharing this key store —
+        costs one dictionary lookup.
+        """
+        key = (identity, digest, signature)
+        outcome = self._verified.get(key)
+        if outcome is None:
+            # Compute directly instead of going through :meth:`verify`: the
+            # outcome memo makes an (identity, message) entry unreachable, so
+            # caching the full message bytes there would be pure retention.
+            if len(signature) != SIGNATURE_SIZE:
+                outcome = False
+            else:
+                outcome = hmac.compare_digest(
+                    self.sign(identity, message_fn()), signature
+                )
+            self._verified[key] = outcome
+        return outcome
 
     def verify_or_raise(self, identity: int, message: bytes, signature: bytes) -> None:
         if not self.verify(identity, message, signature):

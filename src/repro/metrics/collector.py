@@ -34,9 +34,13 @@ class LatencySummary:
         if not samples:
             return LatencySummary()
         ordered = sorted(samples)
+        # Clamp the mean into [min, max]: float summation can drift a ULP
+        # past the true bounds (e.g. five identical samples).
+        mean = sum(ordered) / len(ordered)
+        mean = max(ordered[0], min(mean, ordered[-1]))
         return LatencySummary(
             count=len(ordered),
-            mean=sum(ordered) / len(ordered),
+            mean=mean,
             p50=_percentile(ordered, 0.50),
             p95=_percentile(ordered, 0.95),
             p99=_percentile(ordered, 0.99),
@@ -86,12 +90,18 @@ class MetricsCollector:
         self._submit_times.setdefault(rid, time)
 
     def record_delivery(self, node_id: NodeId, delivered: DeliveredRequest) -> None:
-        """Feed one node's SMR-DELIVER event (wired as the node's on_deliver)."""
+        """Feed one node's SMR-DELIVER event (wired as the node's on_deliver).
+
+        Called once per request per node, so the common path is kept to a few
+        dictionary probes (no set allocation after the first observer).
+        """
         self.deliveries_observed += 1
         rid = delivered.request.rid
         if rid in self._completion_times:
             return
-        nodes = self._delivery_nodes.setdefault(rid, set())
+        nodes = self._delivery_nodes.get(rid)
+        if nodes is None:
+            nodes = self._delivery_nodes[rid] = set()
         nodes.add(node_id)
         if len(nodes) >= self.completion_quorum:
             self._complete(rid, delivered.delivered_at)

@@ -1,0 +1,158 @@
+"""Hot-path performance smoke test (``python -m repro.perf_smoke``).
+
+Runs the canonical profiling scenario once — 8 ISS nodes, 16 clients pushing
+an aggregate 2,000 req/s for 10 virtual seconds over the simulated 1 Gbps
+WAN — and records how fast the *simulator itself* ran: wall-clock time,
+events executed per second of wall time, and requests completed per second
+of wall time.  The result is written to ``BENCH_hotpath.json`` so the perf
+trajectory is tracked across PRs (see PERF.md for the methodology).
+
+The script fails loudly (exit code 1) when throughput-per-second-of-wall
+regresses by more than the allowed fraction versus the checked-in baseline
+(``benchmarks/bench_hotpath_baseline.json``).  Pass ``--update-baseline``
+after an intentional perf change, or ``--no-check`` on machines whose speed
+is not comparable to the baseline recorder's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from .core.config import ISSConfig, WorkloadConfig
+from .harness.runner import Deployment
+
+#: The profiling scenario (keep in sync with PERF.md and the baseline file).
+SCENARIO = dict(
+    num_nodes=8,
+    random_seed=42,
+    num_clients=16,
+    total_rate=2000.0,
+    duration=10.0,
+)
+
+#: Allowed regression of events-per-wall-second before the check fails.
+REGRESSION_TOLERANCE = 0.30
+
+
+def build_deployment() -> Deployment:
+    config = ISSConfig(num_nodes=SCENARIO["num_nodes"], random_seed=SCENARIO["random_seed"])
+    workload = WorkloadConfig(
+        num_clients=SCENARIO["num_clients"],
+        total_rate=SCENARIO["total_rate"],
+        duration=SCENARIO["duration"],
+    )
+    return Deployment(config=config, workload=workload)
+
+
+def run_smoke() -> Dict[str, float]:
+    """Run the scenario once and return the measured figures."""
+    deployment = build_deployment()
+    start = time.perf_counter()
+    result = deployment.run()
+    wall = time.perf_counter() - start
+    report = result.report
+    events = deployment.sim.events_executed
+    return {
+        "wall_time_s": round(wall, 4),
+        "events_executed": events,
+        "events_per_wall_sec": round(events / wall, 1),
+        "requests_submitted": report.submitted,
+        "requests_completed": report.completed,
+        "requests_per_wall_sec": round(report.completed / wall, 1),
+        "virtual_duration_s": SCENARIO["duration"],
+        "messages_sent": deployment.network.stats.messages_sent,
+        "virtual_throughput_rps": round(report.throughput, 1),
+    }
+
+
+def _default_baseline_path() -> Path:
+    return Path(__file__).resolve().parents[2] / "benchmarks" / "bench_hotpath_baseline.json"
+
+
+def check_against_baseline(
+    figures: Dict[str, float], baseline_path: Path
+) -> Optional[str]:
+    """Return an error string when the run regresses beyond tolerance."""
+    if not baseline_path.exists():
+        return (
+            f"baseline {baseline_path} does not exist — run with "
+            f"--update-baseline to record one, or --no-check to skip"
+        )
+    baseline = json.loads(baseline_path.read_text())
+    reference = float(baseline.get("events_per_wall_sec", 0.0))
+    if reference <= 0:
+        return (
+            f"baseline {baseline_path} has no positive events_per_wall_sec — "
+            f"re-record it with --update-baseline"
+        )
+    measured = figures["events_per_wall_sec"]
+    floor = reference * (1.0 - REGRESSION_TOLERANCE)
+    if measured < floor:
+        return (
+            f"PERF REGRESSION: {measured:.0f} events/wall-s is more than "
+            f"{REGRESSION_TOLERANCE:.0%} below the baseline "
+            f"{reference:.0f} events/wall-s (floor {floor:.0f}). "
+            f"Baseline: {baseline_path}"
+        )
+    return None
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="BENCH_hotpath.json",
+        help="where to write the result JSON (default: ./BENCH_hotpath.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON to compare against (default: benchmarks/bench_hotpath_baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record this run as the new baseline instead of checking against it",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the regression check (e.g. on an incomparable machine)",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"perf smoke: {SCENARIO['num_nodes']} nodes, "
+        f"{SCENARIO['total_rate']:.0f} req/s, {SCENARIO['duration']:.0f}s virtual ..."
+    )
+    figures = run_smoke()
+    for key, value in figures.items():
+        print(f"  {key}: {value}")
+
+    Path(args.output).write_text(json.dumps(figures, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    baseline_path = Path(args.baseline) if args.baseline else _default_baseline_path()
+    if args.update_baseline:
+        baseline_path.write_text(json.dumps(figures, indent=2) + "\n")
+        print(f"updated baseline {baseline_path}")
+        return 0
+    if not args.no_check:
+        error = check_against_baseline(figures, baseline_path)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 1
+        print(
+            f"regression check ok (baseline {baseline_path.name}, "
+            f"tolerance {REGRESSION_TOLERANCE:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -11,11 +11,18 @@ many leaders, so the aggregate NIC capacity grows with ``n``.
 Messages are delivered point-to-point with a WAN propagation latency drawn
 from :class:`repro.sim.latency.LatencyModel` plus optional jitter, and can be
 dropped or blocked by crash faults and partitions.
+
+``send`` is the single hottest call in large simulations (one per message),
+so its common path is deliberately slim: the wire-size accessor is resolved
+once per message *type*, fault/partition/filter checks cost one truthiness
+test each when no fault is configured, and delivery is scheduled through the
+simulator's allocation-free callback path.
 """
 
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
@@ -31,20 +38,33 @@ MessageHandler = Callable[[NodeId, object], None]
 #: Signature: ``fn(src, dst, message) -> bool``.
 LinkFilter = Callable[[NodeId, NodeId, object], bool]
 
+#: Wire-size strategies, resolved once per message type (see :func:`wire_size`).
+_SIZE_WIRE, _SIZE_BYTES, _SIZE_DEFAULT = 0, 1, 2
+_SIZE_KIND_BY_TYPE: Dict[type, int] = {}
+
 
 def wire_size(message: object) -> int:
     """Best-effort estimate of a message's wire size in bytes.
 
     Protocol messages expose ``wire_size()``; payload-carrying objects expose
     ``size_bytes()``.  Anything else is charged a small fixed header, which
-    matches the digest-sized votes most protocols exchange.
+    matches the digest-sized votes most protocols exchange.  The accessor
+    choice is cached per message type so the common path costs one dict hit.
     """
-    size_fn = getattr(message, "wire_size", None)
-    if callable(size_fn):
-        return int(size_fn())
-    size_fn = getattr(message, "size_bytes", None)
-    if callable(size_fn):
-        return int(size_fn())
+    cls = message.__class__
+    kind = _SIZE_KIND_BY_TYPE.get(cls)
+    if kind is None:
+        if callable(getattr(cls, "wire_size", None)):
+            kind = _SIZE_WIRE
+        elif callable(getattr(cls, "size_bytes", None)):
+            kind = _SIZE_BYTES
+        else:
+            kind = _SIZE_DEFAULT
+        _SIZE_KIND_BY_TYPE[cls] = kind
+    if kind == _SIZE_WIRE:
+        return int(message.wire_size())
+    if kind == _SIZE_BYTES:
+        return int(message.size_bytes())
     return 96
 
 
@@ -56,14 +76,14 @@ class NetworkStats:
     messages_delivered: int = 0
     messages_dropped: int = 0
     bytes_sent: int = 0
-    per_node_bytes_sent: Dict[NodeId, int] = field(default_factory=dict)
-    per_node_messages_sent: Dict[NodeId, int] = field(default_factory=dict)
+    per_node_bytes_sent: Counter = field(default_factory=Counter)
+    per_node_messages_sent: Counter = field(default_factory=Counter)
 
     def record_send(self, src: NodeId, size: int) -> None:
         self.messages_sent += 1
         self.bytes_sent += size
-        self.per_node_bytes_sent[src] = self.per_node_bytes_sent.get(src, 0) + size
-        self.per_node_messages_sent[src] = self.per_node_messages_sent.get(src, 0) + 1
+        self.per_node_bytes_sent[src] += size
+        self.per_node_messages_sent[src] += 1
 
 
 class Network:
@@ -159,25 +179,32 @@ class Network:
         discarded — exactly what an unreliable asynchronous network does.
         """
         size = size_bytes if size_bytes is not None else wire_size(message)
-        self.stats.record_send(src, size)
+        stats = self.stats
+        stats.record_send(src, size)
 
-        if src in self._crashed or dst in self._crashed:
-            self.stats.messages_dropped += 1
+        # Fault checks, each reduced to one truthiness test when inactive.
+        if self._crashed and (src in self._crashed or dst in self._crashed):
+            stats.messages_dropped += 1
             return
-        if self._blocked_by_partition(src, dst):
-            self.stats.messages_dropped += 1
+        if self._partition_group and self._blocked_by_partition(src, dst):
+            stats.messages_dropped += 1
             return
-        for fn in self._link_filters:
-            if not fn(src, dst, message):
-                self.stats.messages_dropped += 1
-                return
-        if self.config.drop_rate > 0 and self._rng.random() < self.config.drop_rate:
-            self.stats.messages_dropped += 1
+        if self._link_filters:
+            for fn in self._link_filters:
+                if not fn(src, dst, message):
+                    stats.messages_dropped += 1
+                    return
+        config = self.config
+        if config.drop_rate > 0 and self._rng.random() < config.drop_rate:
+            stats.messages_dropped += 1
             return
 
         # NIC serialisation at the sender: back-to-back messages queue up.
-        transmission = (size * 8) / self.config.bandwidth_bps
-        nic_free = max(self._nic_free_at.get(src, 0.0), self.sim.now)
+        now = self.sim.now
+        transmission = (size * 8) / config.bandwidth_bps
+        nic_free = self._nic_free_at.get(src, 0.0)
+        if nic_free < now:
+            nic_free = now
         departure = nic_free + transmission
         self._nic_free_at[src] = departure
 
@@ -185,9 +212,15 @@ class Network:
             arrival = departure
         else:
             propagation = self.latency.sample_latency(src, dst, self._rng)
-            arrival = departure + propagation + self.config.processing_delay
+            arrival = departure + propagation + config.processing_delay
 
-        self.sim.schedule_at(arrival, lambda: self._deliver(src, dst, message))
+        # Allocation-free delivery scheduling (no Timer handle needed).
+        delay = arrival - now
+        if delay < 0.0:
+            delay = 0.0
+        self.sim.schedule_callback(
+            delay, lambda: self._deliver(src, dst, message)
+        )
 
     def multicast(self, src: NodeId, dsts: Iterable[NodeId], message: object) -> None:
         """Send the same message to every destination (each pays NIC time)."""
@@ -196,7 +229,7 @@ class Network:
             self.send(src, dst, message, size_bytes=size)
 
     def _deliver(self, src: NodeId, dst: NodeId, message: object) -> None:
-        if dst in self._crashed or src in self._crashed:
+        if self._crashed and (dst in self._crashed or src in self._crashed):
             self.stats.messages_dropped += 1
             return
         handler = self._handlers.get(dst)

@@ -4,6 +4,17 @@ All ISS components run on top of this event loop instead of real threads and
 sockets.  Virtual time is a float in seconds.  Determinism matters: given the
 same seeds and configuration, every run produces the same schedule, which the
 test suite relies on.
+
+The scheduler has two entry points with identical ordering semantics:
+
+* :meth:`Simulator.schedule` returns a :class:`Timer` handle supporting
+  cancellation and rescheduling (protocol timeouts, pacers, heartbeats);
+* :meth:`Simulator.schedule_callback` is the allocation-free fast path used
+  for the one-shot events that dominate a run (message deliveries): it pushes
+  the bare callback onto the heap with no ``_Event``/``Timer`` wrapper.
+
+Both paths draw sequence numbers from the same counter, so interleaving them
+preserves the global (time, insertion) order.
 """
 
 from __future__ import annotations
@@ -19,15 +30,17 @@ class SimulationError(RuntimeError):
 
 
 class _Event:
-    """Queue entry; ordering is handled by the (time, seq) heap tuple."""
+    """Queue entry for cancellable timers; heap order comes from the
+    ``(time, seq)`` tuple prefix."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "fired")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], None]):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.fired = False
 
 
 class Timer:
@@ -43,10 +56,12 @@ class Timer:
 
     @property
     def active(self) -> bool:
-        return not self._event.cancelled and self._event.time >= self._sim.now
+        """True while the callback is still going to run: not cancelled and
+        not yet fired."""
+        return not self._event.cancelled and not self._event.fired
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        self._sim._cancel_event(self._event)
 
     def reset(self, delay: float) -> "Timer":
         """Cancel this timer and schedule the same callback ``delay`` from now."""
@@ -54,6 +69,11 @@ class Timer:
         new = self._sim.schedule(delay, self._event.callback)
         self._event = new._event
         return self
+
+
+#: Compaction threshold: rebuild the heap once more than half of it is
+#: cancelled entries (and it is large enough for the rebuild to pay off).
+_COMPACT_MIN_SIZE = 64
 
 
 class Simulator:
@@ -67,8 +87,9 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0):
-        #: Heap of ``(time, seq, event)`` tuples; float/int comparison keeps
-        #: heap operations cheap even with millions of events.
+        #: Heap of ``(time, seq, item)`` tuples where ``item`` is either a
+        #: cancellable ``_Event`` or a bare callback (fast path).  The unique
+        #: ``seq`` guarantees comparison never reaches ``item``.
         self._queue: List[tuple] = []
         self._counter = itertools.count()
         self._now = 0.0
@@ -76,6 +97,10 @@ class Simulator:
         self.rng = random.Random(seed)
         #: Number of events executed so far (useful for profiling tests).
         self.events_executed = 0
+        #: Live (scheduled, not cancelled, not executed) events — O(1) pending.
+        self._live = 0
+        #: Cancelled events still sitting in the heap awaiting lazy removal.
+        self._stale = 0
 
     # ------------------------------------------------------------------ time
     @property
@@ -90,6 +115,7 @@ class Simulator:
             raise SimulationError(f"cannot schedule {delay}s in the past")
         event = _Event(self._now + delay, next(self._counter), callback)
         heapq.heappush(self._queue, (event.time, event.seq, event))
+        self._live += 1
         return Timer(self, event)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:
@@ -100,28 +126,83 @@ class Simulator:
         """Schedule ``callback`` at the current time (after pending events)."""
         return self.schedule(0.0, callback)
 
+    def schedule_callback(self, delay: float, callback: Callable[[], None]) -> None:
+        """Allocation-free fast path: schedule a one-shot, non-cancellable
+        callback ``delay`` seconds from now.
+
+        Used for the events that dominate large runs (message deliveries);
+        same ordering semantics as :meth:`schedule`, but no ``Timer`` handle.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), callback))
+        self._live += 1
+
+    def schedule_callback_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Absolute-time variant of :meth:`schedule_callback`."""
+        self.schedule_callback(max(0.0, time - self._now), callback)
+
+    # ---------------------------------------------------------- cancellation
+    def _cancel_event(self, event: _Event) -> None:
+        """Mark a timer event cancelled; its heap entry is removed lazily."""
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._live -= 1
+        self._stale += 1
+        if self._stale * 2 > len(self._queue) and len(self._queue) >= _COMPACT_MIN_SIZE:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (in place, so that a loop
+        holding a reference to the queue list keeps seeing the live heap)."""
+        self._queue[:] = [
+            entry
+            for entry in self._queue
+            if not (entry[2].__class__ is _Event and entry[2].cancelled)
+        ]
+        heapq.heapify(self._queue)
+        self._stale = 0
+
     # ------------------------------------------------------------------- run
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the queue drains, ``until`` is reached, or
         ``max_events`` have executed.  Returns the final virtual time."""
         self._running = True
         executed = 0
+        queue = self._queue
+        pop = heapq.heappop
+        event_cls = _Event
         try:
-            while self._queue:
-                event = self._queue[0][2]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and event.time > until:
+            while queue:
+                head = queue[0]
+                item = head[2]
+                if item.__class__ is event_cls:
+                    if item.cancelled:
+                        pop(queue)
+                        self._stale -= 1
+                        continue
+                    callback = item.callback
+                else:
+                    callback = item
+                time = head[0]
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._queue)
-                self._now = max(self._now, event.time)
-                event.callback()
+                pop(queue)
+                # The event is no longer pending once popped — decrement
+                # before the callback so a raising callback cannot desync
+                # the O(1) pending_events counter.
+                self._live -= 1
+                if time > self._now:
+                    self._now = time
+                if callback is not item:
+                    item.fired = True
+                callback()
                 self.events_executed += 1
                 executed += 1
                 if max_events is not None and executed >= max_events:
                     break
-            if until is not None and (not self._queue or self._peek_time() > until):
+            if until is not None and (not queue or self._peek_time() > until):
                 self._now = max(self._now, until)
         finally:
             self._running = False
@@ -132,10 +213,16 @@ class Simulator:
         return self.run(max_events=max_events)
 
     def _peek_time(self) -> float:
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0][0] if self._queue else float("inf")
+        queue = self._queue
+        while queue:
+            item = queue[0][2]
+            if item.__class__ is _Event and item.cancelled:
+                heapq.heappop(queue)
+                self._stale -= 1
+                continue
+            return queue[0][0]
+        return float("inf")
 
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for _t, _s, e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live

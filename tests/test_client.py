@@ -128,6 +128,53 @@ class TestResponses:
         assert harness.completions == []
 
 
+class TestAggregatedResponses:
+    """Per-(client, batch) response aggregation keeps per-request semantics."""
+
+    def _batch(self, node, entries):
+        from repro.core.messages import ClientResponseBatchMsg
+
+        return ClientResponseBatchMsg(client=0, entries=tuple(entries), node=node)
+
+    def test_batched_entries_count_per_request(self):
+        harness = ClientHarness()
+        first = harness.client.submit(b"a")
+        second = harness.client.submit(b"b")
+        harness.client.on_message(
+            0, self._batch(0, [(first.rid, 0), (second.rid, 1)])
+        )
+        assert harness.completions == []
+        harness.client.on_message(
+            1, self._batch(1, [(first.rid, 0), (second.rid, 1)])
+        )
+        # f+1 = 2 responses for each request: both complete.
+        assert len(harness.completions) == 2
+        assert harness.client.pending_count() == 0
+
+    def test_partial_batch_completes_only_acknowledged(self):
+        harness = ClientHarness()
+        first = harness.client.submit(b"a")
+        second = harness.client.submit(b"b")
+        harness.client.on_message(0, self._batch(0, [(first.rid, 0), (second.rid, 1)]))
+        harness.client.on_message(1, self._batch(1, [(first.rid, 0)]))
+        assert [rid for rid, _lat in harness.completions] == [first.rid]
+        assert harness.client.pending_count() == 1
+
+    def test_mixed_single_and_batched_responses(self):
+        harness = ClientHarness()
+        request = harness.client.submit(b"a")
+        harness.client.on_message(0, ClientResponseMsg(rid=request.rid, sn=0, node=0))
+        harness.client.on_message(1, self._batch(1, [(request.rid, 0)]))
+        assert len(harness.completions) == 1
+
+    def test_duplicate_batched_responses_not_counted(self):
+        harness = ClientHarness()
+        request = harness.client.submit(b"a")
+        harness.client.on_message(0, self._batch(0, [(request.rid, 0)]))
+        harness.client.on_message(0, self._batch(0, [(request.rid, 0)]))
+        assert harness.completions == []
+
+
 class TestResubmission:
     def test_pending_requests_resubmitted_on_new_assignment(self):
         harness = ClientHarness()

@@ -48,6 +48,61 @@ class TestKeyStore:
         with pytest.raises(SignatureError):
             ks.verify_or_raise(1, b"m", b"bogus" * 13)
 
+    def test_repeated_verify_is_memoized(self):
+        """Re-verifying the same (identity, message) pair must not re-run the
+        HMAC: the expected tag is cached after the first verification."""
+        ks = KeyStore(deployment_seed=1)
+        sig = ks.sign(3, b"message")
+        assert ks.verify(3, b"message", sig)
+        assert (3, b"message") in ks._expected
+        # Cached path still rejects a different signature for the same pair.
+        bad = bytearray(sig)
+        bad[0] ^= 0xFF
+        assert not ks.verify(3, b"message", bytes(bad))
+
+
+class TestVerifyDigest:
+    def _signed(self, ks, identity=1, message=b"payload-bytes"):
+        from repro.crypto.hashing import sha256
+
+        signature = ks.sign(identity, message)
+        return sha256(message), message, signature
+
+    def test_verify_digest_roundtrip(self):
+        ks = KeyStore(deployment_seed=2)
+        digest, message, sig = self._signed(ks)
+        assert ks.verify_digest(1, digest, sig, lambda: message)
+
+    def test_verify_digest_memoizes_outcome(self):
+        ks = KeyStore(deployment_seed=2)
+        digest, message, sig = self._signed(ks)
+        calls = []
+
+        def build():
+            calls.append(1)
+            return message
+
+        assert ks.verify_digest(1, digest, sig, build)
+        assert ks.verify_digest(1, digest, sig, build)
+        assert ks.verify_digest(1, digest, sig, build)
+        # The message was only materialised on the cache miss.
+        assert len(calls) == 1
+
+    def test_verify_digest_caches_negative_outcome(self):
+        ks = KeyStore(deployment_seed=2)
+        digest, message, _sig = self._signed(ks)
+        forged = b"\x00" * SIGNATURE_SIZE
+        assert not ks.verify_digest(1, digest, forged, lambda: message)
+        assert not ks.verify_digest(1, digest, forged, lambda: message)
+
+    def test_verify_digest_distinguishes_signatures(self):
+        """Two signatures over the same digest are cached independently."""
+        ks = KeyStore(deployment_seed=2)
+        digest, message, good = self._signed(ks)
+        other = ks.sign(2, message)  # valid tag, wrong identity
+        assert ks.verify_digest(1, digest, good, lambda: message)
+        assert not ks.verify_digest(1, digest, other, lambda: message)
+
     def test_deterministic_per_seed(self):
         assert KeyStore(5).sign(1, b"m") == KeyStore(5).sign(1, b"m")
         assert KeyStore(5).sign(1, b"m") != KeyStore(6).sign(1, b"m")

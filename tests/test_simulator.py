@@ -140,6 +140,43 @@ class TestTimers:
         timer.cancel()
         assert not timer.active
 
+    def test_fired_timer_is_not_active(self):
+        """A timer whose event already ran must report active == False, even
+        though its fire time equals the current virtual time."""
+        sim = Simulator()
+        timer = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.now == timer.fire_time
+        assert not timer.active
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule(1.0, lambda: fired.append(1))
+        sim.run()
+        timer.cancel()
+        assert fired == [1]
+        assert sim.pending_events() == 0
+
+    def test_reset_after_fire_reschedules(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        timer.reset(2.0)
+        assert timer.active
+        sim.run()
+        assert fired == [1.0, 3.0]
+
+    def test_timer_reset_after_cancel(self):
+        sim = Simulator()
+        seen = []
+        timer = sim.schedule(1.0, lambda: seen.append(sim.now))
+        timer.cancel()
+        timer.reset(0.5)
+        sim.run()
+        assert seen == [0.5]
+
     def test_determinism_same_seed(self):
         def run_once(seed: int):
             sim = Simulator(seed=seed)
@@ -154,3 +191,109 @@ class TestTimers:
 
         assert run_once(7) == run_once(7)
         assert run_once(7) != run_once(8)
+
+
+class TestFastCallbackPath:
+    """The allocation-free schedule_callback fast path used for deliveries."""
+
+    def test_fast_callbacks_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_callback(2.0, lambda: order.append("late"))
+        sim.schedule_callback(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_fast_and_timer_events_interleave_by_insertion(self):
+        """Both scheduling paths share one sequence counter, so same-time
+        events run in global insertion order regardless of the path."""
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("timer-1"))
+        sim.schedule_callback(1.0, lambda: order.append("fast-2"))
+        sim.schedule(1.0, lambda: order.append("timer-3"))
+        sim.schedule_callback(1.0, lambda: order.append("fast-4"))
+        sim.run()
+        assert order == ["timer-1", "fast-2", "timer-3", "fast-4"]
+
+    def test_fast_callback_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_callback(-0.5, lambda: None)
+
+    def test_fast_callback_counts_as_pending_and_executed(self):
+        sim = Simulator()
+        sim.schedule_callback(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events() == 2
+        sim.run()
+        assert sim.pending_events() == 0
+        assert sim.events_executed == 2
+
+    def test_schedule_callback_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_callback_at(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+
+class TestHeapCompaction:
+    def test_pending_events_is_counter_based(self):
+        sim = Simulator()
+        timers = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_events() == 10
+        for timer in timers[:4]:
+            timer.cancel()
+        assert sim.pending_events() == 6
+        # Cancelling twice must not double-count.
+        timers[0].cancel()
+        assert sim.pending_events() == 6
+
+    def test_mass_cancellation_compacts_heap(self):
+        sim = Simulator()
+        timers = [sim.schedule(float(i + 1), lambda: None) for i in range(500)]
+        for timer in timers[:400]:
+            timer.cancel()
+        # More than half of the queued entries were cancelled, so the heap
+        # must have been compacted down to the live events.
+        assert len(sim._queue) <= 150
+        assert sim.pending_events() == 100
+        executed = []
+        sim.schedule(1000.0, lambda: executed.append(sim.now))
+        sim.run()
+        assert sim.pending_events() == 0
+        assert executed == [1000.0]
+
+    def test_cancellation_during_run_is_safe(self):
+        """Compaction triggered by cancellations inside a callback must not
+        confuse the running event loop."""
+        sim = Simulator()
+        fired = []
+        timers = [sim.schedule(10.0 + i, lambda i=i: fired.append(i)) for i in range(200)]
+
+        def cancel_most():
+            for timer in timers[:190]:
+                timer.cancel()
+
+        sim.schedule(1.0, cancel_most)
+        sim.run()
+        assert fired == list(range(190, 200))
+        assert sim.pending_events() == 0
+
+
+class TestExceptionSafety:
+    def test_raising_callback_keeps_pending_counter_consistent(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("callback failure")
+
+        sim.schedule_callback(1.0, boom)
+        sim.schedule(2.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        # The raising event was consumed; only the later timer is pending.
+        assert sim.pending_events() == 1
+        sim.run()
+        assert sim.pending_events() == 0

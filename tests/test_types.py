@@ -5,6 +5,7 @@ import pytest
 from repro.core.types import (
     Batch,
     CheckpointCertificate,
+    DeliveredRequest,
     NIL,
     Nil,
     Request,
@@ -104,3 +105,35 @@ class TestCheckpointCertificate:
             epoch=1, last_sn=15, log_root=b"r", signatures=((0, b"a"), (2, b"b"))
         )
         assert list(certificate.signers()) == [0, 2]
+
+
+class TestCachedHashing:
+    def test_request_id_hash_matches_field_tuple(self):
+        rid = RequestId(client=3, timestamp=7)
+        assert hash(rid) == hash((3, 7))
+        assert rid == RequestId(client=3, timestamp=7)
+
+    def test_request_hash_stable_and_equal_for_copies(self):
+        a = Request(rid=RequestId(1, 2), payload=b"x", signature=b"s")
+        b = Request(rid=RequestId(1, 2), payload=b"x", signature=b"s")
+        assert hash(a) == hash(b)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_segment_bucket_set_cached(self):
+        segment = SegmentDescriptor(epoch=0, leader=0, seq_nrs=(0,), buckets=(1, 5))
+        assert segment.bucket_set() == frozenset({1, 5})
+        assert segment.bucket_set() is segment.bucket_set()
+
+
+class TestDeliveredRequestContract:
+    def test_hashable_and_frozen(self):
+        import pytest as _pytest
+        from dataclasses import FrozenInstanceError
+
+        item = DeliveredRequest(
+            request=Request(rid=RequestId(0, 0)), sn=0, batch_sn=0, epoch=0, delivered_at=1.0
+        )
+        assert len({item, item}) == 1  # usable in sets/dicts
+        with _pytest.raises(FrozenInstanceError):
+            item.sn = 99
