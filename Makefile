@@ -1,0 +1,24 @@
+# Convenience targets for the ISS reproduction.  Everything assumes the
+# in-repo layout (sources under src/, no install needed).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test docs-check perf-smoke bench
+
+# Tier-1 test suite (the CI gate; see ROADMAP.md).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Docstring audit + README code-block execution (see repro.doccheck).
+docs-check:
+	$(PYTHON) -m repro.doccheck
+
+# Profiling-scenario smoke run incl. the batched-vote scenario and the
+# docs check; writes BENCH_hotpath.json (see PERF.md).
+perf-smoke:
+	$(PYTHON) benchmarks/run_perf_smoke.py
+
+# Hot-path microbenchmarks (diagnose what perf-smoke flags).
+bench:
+	$(PYTHON) benchmarks/bench_hotpath.py

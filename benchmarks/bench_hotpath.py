@@ -3,8 +3,9 @@
 
 Times the individual hot paths that dominate large runs (see PERF.md):
 the simulator's allocation-free event dispatch, Timer-based dispatch and
-cancellation compaction, ``Network.send``, request-id hashing, memoized
-signature verification, and the bucket-pool request cycle.
+cancellation compaction, ``Network.send`` (direct and through the
+wire-batching layer), request-id hashing, memoized signature verification,
+and the bucket-pool request cycle.
 
 Usage::
 
@@ -102,6 +103,34 @@ def bench_network_send(n: int = 100_000) -> float:
     return _timed(run, n)
 
 
+def bench_network_send_batched(n: int = 100_000) -> float:
+    """Batchable sends through the wire-batching layer (enqueue + flush).
+
+    Sends PBFT-style votes across a 4-node network with a 1 ms flush tick:
+    each send takes the batcher detour, and every (src, dst, tick) bucket
+    leaves the NIC as a single coalesced frame.
+    """
+    from repro.pbft.messages import Prepare
+
+    sim = Simulator(seed=1)
+    config = NetworkConfig(batch_flush_interval=0.001)
+    network = Network(sim, config, LatencyModel(config, 4))
+    for node in range(4):
+        network.register(node, lambda src, msg: None)
+    votes = [Prepare(view=0, sn=i & 31, digest=b"d" * 32) for i in range(64)]
+
+    def run():
+        send = network.send
+        for i in range(n):
+            # Spread sends over virtual time so flush ticks keep firing.
+            if i % 256 == 0:
+                sim.run(until=sim.now + 0.001)
+            send(i & 3, (i + 1) & 3, votes[i & 63])
+        sim.run()
+
+    return _timed(run, n)
+
+
 def bench_request_hashing(n: int = 500_000) -> float:
     """Set membership over request ids (cached hash fast path)."""
     rids = [RequestId(client=i & 15, timestamp=i) for i in range(2000)]
@@ -179,6 +208,7 @@ BENCHMARKS = [
     ("sim timer dispatch", bench_sim_timer_dispatch, "schedule (Timer) + run, per event"),
     ("timer cancel 90%", bench_timer_cancel, "schedule + cancel + compaction, per timer"),
     ("network send", bench_network_send, "full NIC/latency send, per message"),
+    ("network send batched", bench_network_send_batched, "batched send incl. flush, per vote"),
     ("request-id set probe", bench_request_hashing, "cached-hash set membership, per probe"),
     ("verify (memoized)", bench_verify_cached, "re-verification dict hit, per verify"),
     ("verify (cold)", bench_verify_cold, "first verification incl. HMAC, per verify"),

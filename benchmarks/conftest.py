@@ -8,16 +8,23 @@ reports, and attaches the structured results to ``benchmark.extra_info`` so
 they survive in the JSON output.
 
 Scaling: all scenarios run on the scaled-down simulated WAN described in
-EXPERIMENTS.md.  Set ``REPRO_BENCH_SCALE=2`` (or higher) to enlarge node
-counts and durations.
+EXPERIMENTS.md.  ``REPRO_BENCH_SCALE`` multiplies node counts and durations
+(default 2 since the hot-path overhaul and the wire-batching layer made
+larger runs affordable); ``REPRO_FLUSH_INTERVAL`` tunes the wire-batching
+flush tick (0 disables batching).  See the table in PERF.md.
 """
 
 from __future__ import annotations
 
-import os
+import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Sequence
 
 import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.harness.scenarios import bench_scale  # noqa: E402
 
 
 def run_scenario(benchmark, fn: Callable, label: str):
@@ -34,10 +41,8 @@ def run_scenario(benchmark, fn: Callable, label: str):
 
 
 def scale() -> float:
-    try:
-        return max(0.25, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
-    except ValueError:
-        return 1.0
+    """Benchmark scale factor (shared with :mod:`repro.harness.scenarios`)."""
+    return bench_scale()
 
 
 def scaled_nodes(base: Sequence[int]) -> List[int]:

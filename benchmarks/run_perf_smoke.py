@@ -1,8 +1,11 @@
 #!/usr/bin/env python
-"""CI entry point for the hot-path perf smoke test.
+"""CI entry point for the hot-path perf smoke test plus the docs check.
 
-Equivalent to ``python -m repro.perf_smoke``; see that module (and PERF.md)
-for the scenario, the output format and the regression-check semantics.
+Runs ``python -m repro.perf_smoke`` (profiling scenario, unbatched and
+batched — see that module and PERF.md for the output format and regression
+semantics) and then ``python -m repro.doccheck`` (docstring audit + README
+code-block execution).  The exit status is non-zero when *either* gate
+fails, so CI catches perf and documentation regressions in one step.
 
 Usage::
 
@@ -14,7 +17,10 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.perf_smoke import main  # noqa: E402
+from repro.doccheck import main as doccheck_main  # noqa: E402
+from repro.perf_smoke import main as perf_main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    perf_status = perf_main()
+    doc_status = doccheck_main([])
+    sys.exit(perf_status or doc_status)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.types import NodeId
+from ..sim.batching import register_batchable
 from ..sim.simulator import Simulator, Timer
 
 #: Sentinel used as the "could not agree on a proposed value" decision.
@@ -39,6 +40,8 @@ def _value_key(value: object) -> object:
 
 @dataclass(frozen=True)
 class BcPropose:
+    """View leader's proposal of its current estimate (payload-carrying)."""
+
     instance: object
     view: int
     value: object
@@ -49,8 +52,11 @@ class BcPropose:
         return 48 + wire_size(self.value)
 
 
+@register_batchable
 @dataclass(frozen=True)
 class BcPrepare:
+    """First-phase consensus vote (digest-sized).  Batchable."""
+
     instance: object
     view: int
     value_key: object
@@ -59,8 +65,11 @@ class BcPrepare:
         return 80
 
 
+@register_batchable
 @dataclass(frozen=True)
 class BcCommit:
+    """Second-phase consensus vote (digest-sized).  Batchable."""
+
     instance: object
     view: int
     value_key: object
@@ -71,6 +80,8 @@ class BcCommit:
 
 @dataclass(frozen=True)
 class BcViewChange:
+    """View-change vote carrying the sender's highest prepared value."""
+
     instance: object
     new_view: int
     prepared_view: int

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set
 
 from ..core.types import NodeId
+from ..sim.batching import register_batchable
 
 
 @dataclass(frozen=True)
@@ -34,8 +35,11 @@ class BrbSend:
         return 48 + wire_size(self.payload)
 
 
+@register_batchable
 @dataclass(frozen=True)
 class BrbEcho:
+    """Second-phase echo of the sender's payload.  Batchable like a vote."""
+
     instance: object
     payload: object
 
@@ -45,8 +49,11 @@ class BrbEcho:
         return 48 + wire_size(self.payload)
 
 
+@register_batchable
 @dataclass(frozen=True)
 class BrbReady:
+    """Third-phase readiness vote.  Batchable like a vote."""
+
     instance: object
     payload: object
 

@@ -22,6 +22,7 @@ from typing import Dict, Optional, Set
 from ..core.pacing import ProposalPacer
 from ..core.sb import SBContext, SBInstance
 from ..core.types import Batch, NIL, NodeId, SeqNr
+from ..sim.batching import is_batchable, register_batchable
 from ..fd.detector import EVENT_SUSPECT, FailureDetector
 from .bc import BOTTOM, ByzantineConsensus
 from .brb import ReliableBroadcast
@@ -39,6 +40,11 @@ class SbWrapped:
         from ..sim.network import wire_size
 
         return 16 + wire_size(self.inner)
+
+
+# Transparent to wire batching, like InstanceMessage: an SbWrapped envelope
+# may be coalesced exactly when the BRB/BC message it carries may be.
+register_batchable(SbWrapped, predicate=lambda m: is_batchable(m.inner))
 
 
 class ConsensusSB(SBInstance):

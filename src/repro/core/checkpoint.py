@@ -17,15 +17,21 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..crypto.hashing import hash_int, sha256
 from ..crypto.merkle import merkle_root
 from ..crypto.signatures import SIGNATURE_SIZE, KeyStore
+from ..sim.batching import register_batchable
 from .config import ISSConfig
 from .log import Log
 from .segment import epoch_last_sn, epoch_seq_nrs
 from .types import CheckpointCertificate, EpochNr, NodeId, SeqNr
 
 
+@register_batchable
 @dataclass(frozen=True)
 class CheckpointMsg:
-    """Signed ⟨CHECKPOINT, max(Sn(e)), D(e), σ_i⟩ message."""
+    """Signed ⟨CHECKPOINT, max(Sn(e)), D(e), σ_i⟩ message.
+
+    Batchable: checkpoint votes are digest-sized and latency-tolerant, so
+    they may share a wire frame with other votes on the same link.
+    """
 
     epoch: EpochNr
     last_sn: SeqNr
@@ -38,6 +44,7 @@ class CheckpointMsg:
 
 
 def checkpoint_signing_payload(epoch: EpochNr, last_sn: SeqNr, log_root: bytes) -> bytes:
+    """Canonical byte string a node signs inside its CHECKPOINT message."""
     return b"checkpoint" + hash_int(epoch) + hash_int(last_sn) + log_root
 
 

@@ -242,6 +242,12 @@ class NetworkConfig:
     drop_rate: float = 0.0
     #: Fixed per-message processing overhead at the receiver (seconds).
     processing_delay: float = 0.00002
+    #: Width of the wire-batching flush tick (seconds).  When positive, small
+    #: batchable messages (protocol votes, client requests/acknowledgements —
+    #: see :mod:`repro.sim.batching`) sent on the same (src, dst) link within
+    #: one tick are coalesced into a single wire message flushed at the tick
+    #: boundary.  ``0`` (the default) disables batching entirely.
+    batch_flush_interval: float = 0.0
     random_seed: int = 7
 
     def validate(self) -> None:
@@ -251,6 +257,8 @@ class NetworkConfig:
             raise ConfigError("drop_rate must be in [0, 1)")
         if self.num_datacenters < 1:
             raise ConfigError("num_datacenters must be >= 1")
+        if self.batch_flush_interval < 0:
+            raise ConfigError("batch_flush_interval must be >= 0")
 
 
 @dataclass

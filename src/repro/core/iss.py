@@ -12,6 +12,13 @@ This module ties together everything the paper's Algorithms 1–3 describe:
 * contiguous delivery with per-request sequence numbers (Equation 2) and
   client responses,
 * epoch transitions, checkpointing, garbage collection and state transfer.
+
+Wire efficiency: client acknowledgements are aggregated per (client, commit
+step) into :class:`~repro.core.messages.ClientResponseBatchMsg` here, and —
+one layer below — the network coalesces protocol votes, checkpoint votes and
+client requests per (sender, receiver, flush tick) into single wire frames
+when :mod:`repro.sim.batching` is enabled.  Neither changes what any node
+delivers; both only reduce the number of messages on the simulated wire.
 """
 
 from __future__ import annotations

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from ..sim.batching import is_batchable, register_batchable
 from ..sim.network import wire_size
 from .types import BucketId, ClientId, EpochNr, NodeId, Request, RequestId, SeqNr
 
@@ -24,6 +25,7 @@ def client_endpoint(client_id: int) -> int:
 
 
 def is_client_endpoint(endpoint: int) -> bool:
+    """Whether a network endpoint id belongs to a client (vs a node)."""
     return endpoint >= CLIENT_ENDPOINT_OFFSET
 
 
@@ -38,9 +40,20 @@ class InstanceMessage:
         return 16 + wire_size(self.payload)
 
 
+# The envelope is transparent to wire batching: it may be coalesced exactly
+# when the protocol message it routes may be (votes yes, proposals no).
+register_batchable(InstanceMessage, predicate=lambda m: is_batchable(m.payload))
+
+
+@register_batchable
 @dataclass(frozen=True)
 class ClientRequestMsg:
-    """⟨REQUEST, r⟩ sent by a client to a node."""
+    """⟨REQUEST, r⟩ sent by a client to a node.
+
+    Batchable: a client submitting at a high rate coalesces the requests it
+    sends to the same node within one flush tick into a single wire frame
+    (the node still validates and buckets each request individually).
+    """
 
     request: Request
 
@@ -48,6 +61,7 @@ class ClientRequestMsg:
         return 8 + self.request.size_bytes()
 
 
+@register_batchable
 @dataclass(frozen=True)
 class ClientResponseMsg:
     """A node's acknowledgement that it delivered the client's request.
@@ -66,6 +80,7 @@ class ClientResponseMsg:
         return 48
 
 
+@register_batchable
 @dataclass(frozen=True)
 class ClientResponseBatchMsg:
     """A node's acknowledgement for *all* of one client's requests delivered

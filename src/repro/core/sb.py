@@ -116,7 +116,13 @@ class SBContext:
             self._send(dst, message)
 
     def broadcast(self, message: object, include_self: bool = True) -> None:
-        """Send a protocol message to every node (optionally including self)."""
+        """Send a protocol message to every node (optionally including self).
+
+        Vote-sized messages may be coalesced with other traffic on each
+        (sender, receiver) link by the network's wire-batching layer (see
+        :mod:`repro.sim.batching`); every recipient still handles the vote
+        individually, so implementations need not care.
+        """
         for node in self.all_nodes:
             if node == self.node_id:
                 if include_self:

@@ -33,10 +33,12 @@ def epoch_seq_nrs(epoch: EpochNr, epoch_length: int) -> range:
 
 
 def epoch_first_sn(epoch: EpochNr, epoch_length: int) -> SeqNr:
+    """First log sequence number belonging to ``epoch``."""
     return epoch * epoch_length
 
 
 def epoch_last_sn(epoch: EpochNr, epoch_length: int) -> SeqNr:
+    """Last log sequence number belonging to ``epoch`` (inclusive)."""
     return (epoch + 1) * epoch_length - 1
 
 

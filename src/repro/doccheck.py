@@ -1,0 +1,164 @@
+"""Documentation health checks (``python -m repro.doccheck``).
+
+Two checks keep the project docs trustworthy:
+
+* **Docstring audit** — every public module under the ``repro`` package, and
+  every public class and function defined in one, must carry a docstring.
+  New subsystems cannot land undocumented, which is how the README and
+  ARCHITECTURE docs stay honest.
+* **README executability** — every ``python`` code block in ``README.md``
+  must actually run.  Quickstart snippets that rot are worse than none.
+
+Run both from the repository root::
+
+    PYTHONPATH=src python -m repro.doccheck          # or: make docs-check
+
+The module exits non-zero on any violation and is wired into
+``benchmarks/run_perf_smoke.py`` so the CI perf gate also fails when the
+docs regress; ``tests/test_docstrings.py`` asserts the same invariants
+inside the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import importlib
+import inspect
+import pkgutil
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List
+
+
+def iter_public_module_names(package_name: str = "repro") -> List[str]:
+    """Names of ``package_name`` and every public (sub)module inside it."""
+    package = importlib.import_module(package_name)
+    names = [package_name]
+    for info in pkgutil.walk_packages(package.__path__, prefix=package_name + "."):
+        if any(part.startswith("_") for part in info.name.split(".")):
+            continue
+        names.append(info.name)
+    return sorted(names)
+
+
+def _has_real_docstring(member) -> bool:
+    """Whether ``member`` carries a docstring a human wrote.
+
+    ``@dataclass`` auto-generates ``__doc__`` (the class name plus its
+    ``__init__`` signature) for undocumented classes, which would make the
+    audit a no-op for exactly the message dataclasses it most needs to
+    police — treat that auto-text as missing.
+    """
+    doc = inspect.getdoc(member)
+    if not doc:
+        return False
+    if inspect.isclass(member) and dataclasses.is_dataclass(member):
+        try:
+            # dataclasses generates name + signature with "-> None" stripped.
+            auto = member.__name__ + str(inspect.signature(member)).replace(
+                " -> None", ""
+            )
+        except (TypeError, ValueError):  # pragma: no cover - exotic signatures
+            auto = None
+        if doc == auto:
+            return False
+    return True
+
+
+def _missing_member_docstrings(module) -> Iterable[str]:
+    """Yield ``Class``/``function`` members of ``module`` lacking docstrings."""
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        # Only police members *defined* here, not re-exports.
+        if getattr(member, "__module__", None) != module.__name__:
+            continue
+        if not _has_real_docstring(member):
+            kind = "class" if inspect.isclass(member) else "function"
+            yield f"{module.__name__}.{name} ({kind})"
+
+
+def check_docstrings(package_name: str = "repro") -> List[str]:
+    """Return a list of docstring violations (empty = all documented)."""
+    problems: List[str] = []
+    for module_name in iter_public_module_names(package_name):
+        try:
+            module = importlib.import_module(module_name)
+        except Exception as exc:  # pragma: no cover - import errors are bugs
+            problems.append(f"{module_name}: import failed: {exc!r}")
+            continue
+        if not (module.__doc__ or "").strip():
+            problems.append(f"{module_name}: missing module docstring")
+        problems.extend(_missing_member_docstrings(module))
+    return problems
+
+
+#: Fenced README blocks tagged ``python`` (the executable ones).
+_CODE_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def extract_python_blocks(markdown: str) -> List[str]:
+    """Return the source of every fenced ``python`` block in ``markdown``."""
+    return [block.rstrip() + "\n" for block in _CODE_BLOCK_RE.findall(markdown)]
+
+
+def check_readme_blocks(readme_path: Path) -> List[str]:
+    """Execute every ``python`` block in ``readme_path``; return failures.
+
+    Blocks run in order and share one namespace, so a quickstart may build on
+    names introduced by an earlier block (mirroring a reader typing along).
+    """
+    if not readme_path.exists():
+        return [f"{readme_path}: file does not exist"]
+    blocks = extract_python_blocks(readme_path.read_text())
+    if not blocks:
+        return [f"{readme_path}: contains no ```python blocks to validate"]
+    namespace: dict = {"__name__": "__readme__"}
+    problems: List[str] = []
+    for index, block in enumerate(blocks, start=1):
+        try:
+            exec(compile(block, f"{readme_path}#block{index}", "exec"), namespace)
+        except Exception as exc:
+            problems.append(f"{readme_path} block {index}: {type(exc).__name__}: {exc}")
+    return problems
+
+
+def _default_readme_path() -> Path:
+    return Path(__file__).resolve().parents[2] / "README.md"
+
+
+def main(argv=None) -> int:
+    """CLI entry point; exits 0 only when every check passes."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--readme",
+        default=None,
+        help="README to validate (default: the repository's README.md)",
+    )
+    parser.add_argument(
+        "--skip-readme",
+        action="store_true",
+        help="only run the docstring audit",
+    )
+    args = parser.parse_args(argv)
+
+    problems = check_docstrings()
+    if not args.skip_readme:
+        readme = Path(args.readme) if args.readme else _default_readme_path()
+        problems += check_readme_blocks(readme)
+
+    if problems:
+        print(f"doccheck: {len(problems)} problem(s)", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("doccheck ok: all public repro.* modules documented, README blocks execute")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -52,16 +52,51 @@ SCALED_BANDWIDTH_BPS = 20e6
 PAYLOAD_BYTES = 500
 
 
+#: Default benchmark scale.  Raised from 1.0 after the hot-path overhaul
+#: (PR 1, ~2.8× faster) and the wire-batching layer (PR 2, ~35–40 % fewer
+#: events at 8–16 nodes) made larger figure runs affordable.
+DEFAULT_BENCH_SCALE = 2.0
+
+#: Default wire-batching flush tick for benchmark scenarios (seconds);
+#: imported by :mod:`repro.perf_smoke` so its batched scenario can never
+#: drift from the figure benchmarks.  See PERF.md.
+DEFAULT_FLUSH_INTERVAL = 0.02
+
+
 def bench_scale() -> float:
-    """Global scale factor for benchmark sizes (env var ``REPRO_BENCH_SCALE``)."""
+    """Global scale factor for benchmark sizes (env var ``REPRO_BENCH_SCALE``).
+
+    Unparseable values fall back to :data:`DEFAULT_BENCH_SCALE`; anything
+    below 0.25 is clamped so scenarios keep enough nodes to be meaningful.
+    """
     try:
-        return max(0.25, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
+        return max(
+            0.25, float(os.environ.get("REPRO_BENCH_SCALE", str(DEFAULT_BENCH_SCALE)))
+        )
     except ValueError:
-        return 1.0
+        return DEFAULT_BENCH_SCALE
+
+
+def bench_flush_interval() -> float:
+    """Wire-batching flush tick used by the figure benchmarks (seconds).
+
+    Controlled by the env var ``REPRO_FLUSH_INTERVAL``; ``0`` disables
+    batching (the pre-batching behaviour).  Unparseable values fall back to
+    :data:`DEFAULT_FLUSH_INTERVAL`.
+    """
+    try:
+        value = float(os.environ.get("REPRO_FLUSH_INTERVAL", str(DEFAULT_FLUSH_INTERVAL)))
+    except ValueError:
+        return DEFAULT_FLUSH_INTERVAL
+    return max(0.0, value)
 
 
 def scaled_network() -> NetworkConfig:
-    return NetworkConfig(bandwidth_bps=SCALED_BANDWIDTH_BPS)
+    """Scaled-down WAN shared by all figure benchmarks (wire batching on)."""
+    return NetworkConfig(
+        bandwidth_bps=SCALED_BANDWIDTH_BPS,
+        batch_flush_interval=bench_flush_interval(),
+    )
 
 
 def iss_config(protocol: str, num_nodes: int, **overrides) -> ISSConfig:

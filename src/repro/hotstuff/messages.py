@@ -8,6 +8,7 @@ from typing import Optional, Tuple
 from ..core.types import LogEntry, NIL, SeqNr, ViewNr, is_nil
 from ..crypto.hashing import hash_int, sha256
 from ..crypto.threshold import PartialSignature, ThresholdSignature
+from ..sim.batching import register_batchable
 
 
 @dataclass(frozen=True)
@@ -77,9 +78,11 @@ class Proposal:
         return 96 + self.block.payload_size() + self.block.justify.wire_size()
 
 
+@register_batchable
 @dataclass(frozen=True)
 class Vote:
-    """A replica's (partial-threshold-signed) vote for a block."""
+    """A replica's (partial-threshold-signed) vote for a block.  Batchable:
+    votes riding the same link within one flush tick share a wire frame."""
 
     view: ViewNr
     block_digest: bytes
@@ -89,12 +92,13 @@ class Vote:
         return 48 + self.partial.wire_size()
 
 
+@register_batchable
 @dataclass(frozen=True)
 class NewRound:
     """Pacemaker message: a replica's request to advance to ``round``.
 
     Carries the replica's highest known QC so the next leader can safely
-    extend the chain.
+    extend the chain.  Batchable like any other vote-sized message.
     """
 
     round: int

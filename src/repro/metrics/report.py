@@ -39,5 +39,6 @@ def speedup(new: float, old: float) -> float:
 
 
 def print_banner(title: str) -> None:
+    """Print ``title`` framed by ``=`` rules (benchmark/CLI section header)."""
     line = "=" * max(30, len(title) + 4)
     print(f"\n{line}\n  {title}\n{line}")

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..core.types import LogEntry, NIL, SeqNr, ViewNr, is_nil
+from ..sim.batching import register_batchable
 
 
 def entry_wire_size(entry: LogEntry) -> int:
@@ -37,9 +38,14 @@ class PrePrepare:
         return 64 + entry_wire_size(self.value)
 
 
+@register_batchable
 @dataclass(frozen=True)
 class Prepare:
-    """Follower vote echoing the proposal digest."""
+    """Follower vote echoing the proposal digest.
+
+    Batchable: votes for different slots/instances travelling the same link
+    within one flush tick share a wire frame (see :mod:`repro.sim.batching`).
+    """
 
     view: ViewNr
     sn: SeqNr
@@ -49,9 +55,10 @@ class Prepare:
         return 80
 
 
+@register_batchable
 @dataclass(frozen=True)
 class Commit:
-    """Second-phase vote; 2f+1 of these commit the value."""
+    """Second-phase vote; 2f+1 of these commit the value.  Batchable."""
 
     view: ViewNr
     sn: SeqNr

@@ -1,17 +1,28 @@
 """Hot-path performance smoke test (``python -m repro.perf_smoke``).
 
-Runs the canonical profiling scenario once — 8 ISS nodes, 16 clients pushing
-an aggregate 2,000 req/s for 10 virtual seconds over the simulated 1 Gbps
-WAN — and records how fast the *simulator itself* ran: wall-clock time,
-events executed per second of wall time, and requests completed per second
-of wall time.  The result is written to ``BENCH_hotpath.json`` so the perf
-trajectory is tracked across PRs (see PERF.md for the methodology).
+Runs the canonical profiling scenario — 8 ISS nodes, 16 clients pushing an
+aggregate 2,000 req/s for 10 virtual seconds over the simulated 1 Gbps WAN —
+twice: once with wire batching disabled and once with the batched-vote
+configuration (``NetworkConfig.batch_flush_interval = 20 ms``, see
+:mod:`repro.sim.batching`).  For each run it records how fast the *simulator
+itself* ran (wall-clock time, events per second of wall time, requests
+completed per second of wall time) plus the wire-message counters, and
+derives the message/event reduction the batching layer achieves.  The result
+is written to ``BENCH_hotpath.json`` so the perf trajectory is tracked
+across PRs (see PERF.md for the methodology).
 
-The script fails loudly (exit code 1) when throughput-per-second-of-wall
-regresses by more than the allowed fraction versus the checked-in baseline
-(``benchmarks/bench_hotpath_baseline.json``).  Pass ``--update-baseline``
-after an intentional perf change, or ``--no-check`` on machines whose speed
-is not comparable to the baseline recorder's.
+The script fails loudly (exit code 1) when
+
+* throughput-per-second-of-wall of the unbatched run regresses by more than
+  the allowed fraction versus the checked-in baseline
+  (``benchmarks/bench_hotpath_baseline.json``), or
+* the batched run no longer cuts total wire messages by at least
+  ``MIN_MESSAGE_REDUCTION`` (this check is deterministic: message counts do
+  not depend on machine speed).
+
+Pass ``--update-baseline`` after an intentional perf change, or
+``--no-check`` on machines whose speed is not comparable to the baseline
+recorder's (the deterministic reduction check still runs).
 """
 
 from __future__ import annotations
@@ -23,8 +34,9 @@ import time
 from pathlib import Path
 from typing import Dict, Optional
 
-from .core.config import ISSConfig, WorkloadConfig
+from .core.config import ISSConfig, NetworkConfig, WorkloadConfig
 from .harness.runner import Deployment
+from .harness.scenarios import DEFAULT_FLUSH_INTERVAL
 
 #: The profiling scenario (keep in sync with PERF.md and the baseline file).
 SCENARIO = dict(
@@ -35,28 +47,39 @@ SCENARIO = dict(
     duration=10.0,
 )
 
+#: Flush tick of the batched-vote run (seconds) — the single source of truth
+#: is the figure benchmarks' default, so the two batched configurations
+#: cannot drift apart.  Note the env var ``REPRO_FLUSH_INTERVAL`` does *not*
+#: affect this scenario; the baseline must be machine-environment-stable.
+BATCH_FLUSH_INTERVAL = DEFAULT_FLUSH_INTERVAL
+
 #: Allowed regression of events-per-wall-second before the check fails.
 REGRESSION_TOLERANCE = 0.30
 
+#: Minimum fraction of wire messages batching must save on the scenario.
+MIN_MESSAGE_REDUCTION = 0.30
 
-def build_deployment() -> Deployment:
+
+def build_deployment(batch_flush_interval: float = 0.0) -> Deployment:
+    """Build the profiling-scenario deployment (optionally wire-batched)."""
     config = ISSConfig(num_nodes=SCENARIO["num_nodes"], random_seed=SCENARIO["random_seed"])
     workload = WorkloadConfig(
         num_clients=SCENARIO["num_clients"],
         total_rate=SCENARIO["total_rate"],
         duration=SCENARIO["duration"],
     )
-    return Deployment(config=config, workload=workload)
+    network_config = NetworkConfig(batch_flush_interval=batch_flush_interval)
+    return Deployment(config=config, workload=workload, network_config=network_config)
 
 
-def run_smoke() -> Dict[str, float]:
-    """Run the scenario once and return the measured figures."""
-    deployment = build_deployment()
+def _run_once(batch_flush_interval: float) -> Dict[str, float]:
+    deployment = build_deployment(batch_flush_interval)
     start = time.perf_counter()
     result = deployment.run()
     wall = time.perf_counter() - start
     report = result.report
     events = deployment.sim.events_executed
+    stats = deployment.network.stats
     return {
         "wall_time_s": round(wall, 4),
         "events_executed": events,
@@ -65,9 +88,31 @@ def run_smoke() -> Dict[str, float]:
         "requests_completed": report.completed,
         "requests_per_wall_sec": round(report.completed / wall, 1),
         "virtual_duration_s": SCENARIO["duration"],
-        "messages_sent": deployment.network.stats.messages_sent,
+        "messages_sent": stats.messages_sent,
+        "bytes_sent": stats.bytes_sent,
+        "batches_sent": stats.batches_sent,
+        "payloads_batched": stats.payloads_batched,
         "virtual_throughput_rps": round(report.throughput, 1),
     }
+
+
+def run_smoke() -> Dict[str, object]:
+    """Run the scenario unbatched and batched; return the combined figures.
+
+    The top-level keys describe the unbatched run (the shape older baselines
+    used); the batched run and the derived reductions live under ``batched``.
+    """
+    figures: Dict[str, object] = dict(_run_once(0.0))
+    batched = _run_once(BATCH_FLUSH_INTERVAL)
+    figures["batched"] = batched
+    figures["batch_flush_interval_s"] = BATCH_FLUSH_INTERVAL
+    figures["message_reduction"] = round(
+        1.0 - batched["messages_sent"] / figures["messages_sent"], 4
+    )
+    figures["event_reduction"] = round(
+        1.0 - batched["events_executed"] / figures["events_executed"], 4
+    )
+    return figures
 
 
 def _default_baseline_path() -> Path:
@@ -75,7 +120,7 @@ def _default_baseline_path() -> Path:
 
 
 def check_against_baseline(
-    figures: Dict[str, float], baseline_path: Path
+    figures: Dict[str, object], baseline_path: Path
 ) -> Optional[str]:
     """Return an error string when the run regresses beyond tolerance."""
     if not baseline_path.exists():
@@ -102,7 +147,22 @@ def check_against_baseline(
     return None
 
 
+def check_message_reduction(figures: Dict[str, object]) -> Optional[str]:
+    """Return an error string when batching saves too few wire messages."""
+    reduction = float(figures.get("message_reduction", 0.0))
+    if reduction < MIN_MESSAGE_REDUCTION:
+        return (
+            f"BATCHING REGRESSION: the batched-vote run cut wire messages by "
+            f"only {reduction:.1%}, below the required "
+            f"{MIN_MESSAGE_REDUCTION:.0%} "
+            f"(unbatched {figures['messages_sent']}, "
+            f"batched {figures['batched']['messages_sent']})"
+        )
+    return None
+
+
 def main(argv: Optional[list] = None) -> int:
+    """CLI entry point: run the smoke scenarios, write JSON, apply checks."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
@@ -122,20 +182,38 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--no-check",
         action="store_true",
-        help="skip the regression check (e.g. on an incomparable machine)",
+        help="skip the regression checks (e.g. on an incomparable machine)",
     )
     args = parser.parse_args(argv)
 
     print(
         f"perf smoke: {SCENARIO['num_nodes']} nodes, "
-        f"{SCENARIO['total_rate']:.0f} req/s, {SCENARIO['duration']:.0f}s virtual ..."
+        f"{SCENARIO['total_rate']:.0f} req/s, {SCENARIO['duration']:.0f}s virtual, "
+        f"unbatched + batched ({BATCH_FLUSH_INTERVAL * 1000:.0f} ms flush) ..."
     )
     figures = run_smoke()
     for key, value in figures.items():
-        print(f"  {key}: {value}")
+        if key == "batched":
+            print("  batched:")
+            for sub_key, sub_value in value.items():
+                print(f"    {sub_key}: {sub_value}")
+        else:
+            print(f"  {key}: {value}")
 
     Path(args.output).write_text(json.dumps(figures, indent=2) + "\n")
     print(f"wrote {args.output}")
+
+    # The reduction check is deterministic (pure message counts), so it
+    # applies in every mode — including --no-check and --update-baseline: a
+    # baseline that violates the batching floor must never be recorded.
+    reduction_error = check_message_reduction(figures)
+    if reduction_error is not None:
+        print(reduction_error, file=sys.stderr)
+        return 1
+    print(
+        f"batching check ok ({figures['message_reduction']:.1%} fewer wire "
+        f"messages, floor {MIN_MESSAGE_REDUCTION:.0%})"
+    )
 
     baseline_path = Path(args.baseline) if args.baseline else _default_baseline_path()
     if args.update_baseline:

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..core.types import LogEntry, SeqNr, is_nil
+from ..sim.batching import register_batchable
 
 
 @dataclass(frozen=True)
@@ -36,9 +37,12 @@ class AppendEntries:
         return 64 + sum(24 + e.payload_size() for e in self.entries)
 
 
+@register_batchable
 @dataclass(frozen=True)
 class AppendReply:
-    """Follower acknowledgement; ``match_index`` is the highest matching entry."""
+    """Follower acknowledgement; ``match_index`` is the highest matching
+    entry.  Batchable: replies for different instances travelling the same
+    link within one flush tick share a wire frame."""
 
     term: int
     success: bool
@@ -60,8 +64,11 @@ class RequestVote:
         return 48
 
 
+@register_batchable
 @dataclass(frozen=True)
 class VoteReply:
+    """Response to a :class:`RequestVote` solicitation.  Batchable."""
+
     term: int
     granted: bool
 

@@ -17,6 +17,12 @@ so its common path is deliberately slim: the wire-size accessor is resolved
 once per message *type*, fault/partition/filter checks cost one truthiness
 test each when no fault is configured, and delivery is scheduled through the
 simulator's allocation-free callback path.
+
+When ``NetworkConfig.batch_flush_interval`` is positive, small batchable
+messages (protocol votes, client requests and acknowledgements — see
+:mod:`repro.sim.batching`) are additionally coalesced per (src, dst, flush
+tick) into single wire frames before paying any of those costs; receivers
+still see each payload individually.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.config import NetworkConfig
 from ..core.types import NodeId
+from .batching import MessageBatcher, MessageBatchMsg, is_batchable
 from .latency import LatencyModel
 from .simulator import Simulator
 
@@ -76,6 +83,10 @@ class NetworkStats:
     messages_delivered: int = 0
     messages_dropped: int = 0
     bytes_sent: int = 0
+    #: Wire batches among ``messages_sent`` and logical payloads inside them
+    #: (see :mod:`repro.sim.batching`; both stay 0 with batching disabled).
+    batches_sent: int = 0
+    payloads_batched: int = 0
     per_node_bytes_sent: Counter = field(default_factory=Counter)
     per_node_messages_sent: Counter = field(default_factory=Counter)
 
@@ -109,6 +120,16 @@ class Network:
         self._partition_group: Dict[NodeId, int] = {}
         self._link_filters: List[LinkFilter] = []
         self.stats = NetworkStats()
+        #: Wire batcher coalescing small batchable messages per (src, dst,
+        #: flush tick); ``None`` when batching is disabled (the default).
+        self.batcher: Optional[MessageBatcher] = None
+        if config.batch_flush_interval > 0.0:
+            self.batcher = MessageBatcher(
+                sim=sim,
+                flush_interval=config.batch_flush_interval,
+                send_fn=self._send_now,
+                size_fn=wire_size,
+            )
 
     # ------------------------------------------------------------ membership
     def register(self, endpoint: NodeId, handler: MessageHandler) -> None:
@@ -156,6 +177,12 @@ class Network:
     def clear_link_filters(self) -> None:
         self._link_filters.clear()
 
+    def _passes_filters(self, src: NodeId, dst: NodeId, message: object) -> bool:
+        for fn in self._link_filters:
+            if not fn(src, dst, message):
+                return False
+        return True
+
     def _blocked_by_partition(self, src: NodeId, dst: NodeId) -> bool:
         if not self._partition_group:
             return False
@@ -177,8 +204,35 @@ class Network:
         virtual time.  Sends from or to crashed endpoints, across partitions,
         through vetoing link filters, or hit by random drops are silently
         discarded — exactly what an unreliable asynchronous network does.
+
+        With wire batching enabled, batchable messages (see
+        :mod:`repro.sim.batching`) detour through the batcher and hit the
+        wire as part of a coalesced frame at the link's next flush tick;
+        fault checks, NIC serialisation and latency then apply to the frame.
         """
+        batcher = self.batcher
+        if batcher is not None and src != dst and is_batchable(message):
+            # Link filters are a per-*message* contract, so they run here —
+            # on the payload, before it can hide inside a coalesced frame.
+            if self._link_filters and not self._passes_filters(src, dst, message):
+                self.stats.messages_dropped += 1
+                return
+            batcher.enqueue(src, dst, message)
+            return
+        self._send_now(src, dst, message, size_bytes)
+
+    def _send_now(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: object,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        """Immediate (unbatched) send path; also the batcher's flush target."""
         size = size_bytes if size_bytes is not None else wire_size(message)
+        if message.__class__ is MessageBatchMsg:
+            self.stats.batches_sent += 1
+            self.stats.payloads_batched += len(message.payloads)
         stats = self.stats
         stats.record_send(src, size)
 
@@ -189,11 +243,12 @@ class Network:
         if self._partition_group and self._blocked_by_partition(src, dst):
             stats.messages_dropped += 1
             return
-        if self._link_filters:
-            for fn in self._link_filters:
-                if not fn(src, dst, message):
-                    stats.messages_dropped += 1
-                    return
+        # Coalesced frames skip the filter loop: each payload already passed
+        # it individually at enqueue time.
+        if self._link_filters and message.__class__ is not MessageBatchMsg:
+            if not self._passes_filters(src, dst, message):
+                stats.messages_dropped += 1
+                return
         config = self.config
         if config.drop_rate > 0 and self._rng.random() < config.drop_rate:
             stats.messages_dropped += 1
@@ -235,6 +290,14 @@ class Network:
         handler = self._handlers.get(dst)
         if handler is None:
             self.stats.messages_dropped += 1
+            return
+        if message.__class__ is MessageBatchMsg:
+            # Unpack the wire frame: every coalesced payload reaches the
+            # handler individually and in send order, so receivers never see
+            # the batching layer.
+            for payload in message.payloads:
+                self.stats.messages_delivered += 1
+                handler(src, payload)
             return
         self.stats.messages_delivered += 1
         handler(src, message)

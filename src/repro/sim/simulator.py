@@ -10,8 +10,9 @@ The scheduler has two entry points with identical ordering semantics:
 * :meth:`Simulator.schedule` returns a :class:`Timer` handle supporting
   cancellation and rescheduling (protocol timeouts, pacers, heartbeats);
 * :meth:`Simulator.schedule_callback` is the allocation-free fast path used
-  for the one-shot events that dominate a run (message deliveries): it pushes
-  the bare callback onto the heap with no ``_Event``/``Timer`` wrapper.
+  for the one-shot events that dominate a run (message deliveries and the
+  wire batcher's flush ticks): it pushes the bare callback onto the heap
+  with no ``_Event``/``Timer`` wrapper.
 
 Both paths draw sequence numbers from the same counter, so interleaving them
 preserves the global (time, insertion) order.
@@ -130,8 +131,9 @@ class Simulator:
         """Allocation-free fast path: schedule a one-shot, non-cancellable
         callback ``delay`` seconds from now.
 
-        Used for the events that dominate large runs (message deliveries);
-        same ordering semantics as :meth:`schedule`, but no ``Timer`` handle.
+        Used for the events that dominate large runs (message deliveries,
+        wire-batch flush ticks); same ordering semantics as
+        :meth:`schedule`, but no ``Timer`` handle.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s in the past")

@@ -1,0 +1,390 @@
+"""Tests for the cross-protocol wire-batching layer (:mod:`repro.sim.batching`).
+
+Covers the batchable-type registry, the (src, dst, flush tick) coalescing
+semantics at the network layer, fault interaction, end-to-end deployment
+equivalence (batching must not change *what* gets delivered, only how many
+wire messages carry it), same-seed determinism pinned by a batched golden
+trace, and the headline acceptance criterion: ≥ 30 % fewer wire messages on
+the canonical 8-node / 2,000 req/s / 10 s profiling scenario.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.consensus.bc import BcCommit, BcPrepare, BcPropose
+from repro.consensus.brb import BrbEcho, BrbReady, BrbSend
+from repro.core.checkpoint import CheckpointMsg
+from repro.core.config import ConfigError, ISSConfig, NetworkConfig, WorkloadConfig
+from repro.core.messages import (
+    BucketAssignmentMsg,
+    ClientRequestMsg,
+    ClientResponseBatchMsg,
+    InstanceMessage,
+)
+from repro.harness.runner import Deployment
+from repro.hotstuff.messages import NewRound, Vote
+from repro.pbft.messages import Commit, Prepare, PrePrepare
+from repro.raft.messages import AppendEntries, AppendReply, RequestVote, VoteReply
+from repro.sim.batching import (
+    BATCH_HEADER_BYTES,
+    MessageBatcher,
+    MessageBatchMsg,
+    is_batchable,
+    register_batchable,
+)
+from repro.sim.latency import LatencyModel
+from repro.sim.network import Network, wire_size
+from repro.sim.simulator import Simulator
+from tests.conftest import make_batch, make_request
+
+GOLDEN_BATCHED_PATH = Path(__file__).parent / "data" / "golden_trace_batched.json"
+
+DIGEST = b"d" * 32
+
+
+def vote(sn: int = 0) -> Prepare:
+    return Prepare(view=0, sn=sn, digest=DIGEST)
+
+
+def make_network(flush_interval: float = 0.01, num_nodes: int = 4, **overrides):
+    """Network with deterministic latency and optional wire batching."""
+    sim = Simulator(seed=1)
+    config = NetworkConfig(
+        jitter=0.0,
+        inter_dc_latency=0.02,
+        intra_dc_latency=0.001,
+        batch_flush_interval=flush_interval,
+        **overrides,
+    )
+    network = Network(sim, config, LatencyModel(config, num_nodes))
+    inboxes = {n: [] for n in range(num_nodes)}
+    for node in range(num_nodes):
+        network.register(node, lambda src, msg, n=node: inboxes[n].append((src, msg)))
+    return sim, network, inboxes
+
+
+class TestRegistry:
+    def test_votes_are_batchable(self):
+        assert is_batchable(vote())
+        assert is_batchable(Commit(view=0, sn=1, digest=DIGEST))
+        assert is_batchable(AppendReply(term=1, success=True, match_index=3))
+        assert is_batchable(VoteReply(term=1, granted=True))
+        assert is_batchable(BcPrepare(instance=1, view=0, value_key=b"k"))
+        assert is_batchable(BcCommit(instance=1, view=0, value_key=b"k"))
+        assert is_batchable(BrbEcho(instance=1, payload=b"p"))
+        assert is_batchable(BrbReady(instance=1, payload=b"p"))
+        assert is_batchable(
+            CheckpointMsg(epoch=0, last_sn=7, log_root=DIGEST, sender=1, signature=b"s")
+        )
+
+    def test_client_messages_are_batchable(self):
+        assert is_batchable(ClientRequestMsg(request=make_request()))
+        assert is_batchable(
+            ClientResponseBatchMsg(client=0, entries=(), node=1)
+        )
+
+    def test_payload_carrying_messages_are_not_batchable(self):
+        batch = make_batch(make_request())
+        assert not is_batchable(
+            PrePrepare(view=0, sn=0, value=batch, digest=batch.digest())
+        )
+        assert not is_batchable(
+            AppendEntries(term=1, prev_index=0, prev_term=0, entries=(), leader_commit=0)
+        )
+        assert not is_batchable(RequestVote(term=1, last_log_index=0, last_log_term=0))
+        assert not is_batchable(BucketAssignmentMsg(epoch=0, assignment=()))
+        assert not is_batchable(BrbSend(instance=1, payload=b"p"))
+        assert not is_batchable(BcPropose(instance=1, view=0, value=b"v"))
+
+    def test_instance_envelope_is_transparent(self):
+        batchable = InstanceMessage(instance_id=(0, 1), payload=vote())
+        batch = make_batch(make_request())
+        unbatchable = InstanceMessage(
+            instance_id=(0, 1),
+            payload=PrePrepare(view=0, sn=0, value=batch, digest=batch.digest()),
+        )
+        assert is_batchable(batchable)
+        assert not is_batchable(unbatchable)
+
+    def test_hotstuff_votes_batchable_without_crypto(self):
+        # Vote/NewRound carry threshold-crypto members; registry membership
+        # is a type-level property, so probe the registry directly.
+        from repro.sim.batching import _REGISTRY
+
+        assert Vote in _REGISTRY
+        assert NewRound in _REGISTRY
+
+    def test_wire_frames_are_never_rebatched(self):
+        assert not is_batchable(MessageBatchMsg(payloads=(vote(),), size=96))
+
+    def test_register_batchable_returns_class(self):
+        class Probe:
+            pass
+
+        assert register_batchable(Probe) is Probe
+        assert is_batchable(Probe())
+
+
+class TestNetworkCoalescing:
+    def test_same_tick_same_link_messages_share_one_frame(self):
+        sim, network, inboxes = make_network(flush_interval=0.01)
+        votes = [vote(sn) for sn in range(3)]
+        for v in votes:
+            network.send(0, 1, v)
+        sim.run()
+        stats = network.stats
+        assert stats.messages_sent == 1
+        assert stats.batches_sent == 1
+        assert stats.payloads_batched == 3
+        # The receiver sees each vote individually, in send order.
+        assert [msg for _, msg in inboxes[1]] == votes
+        assert all(src == 0 for src, _ in inboxes[1])
+        assert stats.messages_delivered == 3
+
+    def test_frame_wire_size_is_header_plus_payload_sizes(self):
+        sim, network, _ = make_network(flush_interval=0.01)
+        votes = [vote(sn) for sn in range(3)]
+        for v in votes:
+            network.send(0, 1, v)
+        sim.run()
+        expected = BATCH_HEADER_BYTES + sum(wire_size(v) for v in votes)
+        assert network.stats.bytes_sent == expected
+
+    def test_lone_message_flushes_unwrapped(self):
+        sim, network, inboxes = make_network(flush_interval=0.01)
+        the_vote = vote()
+        network.send(0, 1, the_vote)
+        sim.run()
+        assert network.stats.messages_sent == 1
+        assert network.stats.batches_sent == 0
+        assert inboxes[1] == [(0, the_vote)]
+
+    def test_different_links_use_different_frames(self):
+        sim, network, inboxes = make_network(flush_interval=0.01)
+        network.send(0, 1, vote(0))
+        network.send(0, 2, vote(1))
+        network.send(3, 1, vote(2))
+        sim.run()
+        assert network.stats.messages_sent == 3
+        assert len(inboxes[1]) == 2 and len(inboxes[2]) == 1
+
+    def test_enqueue_on_inexact_float_boundary_waits_a_full_tick(self):
+        # 0.06 // 0.02 == 2.0 in floats, so a naive "next boundary"
+        # computation lands on `now` itself; messages enqueued at such a
+        # boundary must still wait one full interval and coalesce with
+        # later traffic from the same window.
+        sim, network, _ = make_network(flush_interval=0.02)
+        sim.schedule(0.06, lambda: network.send(0, 1, vote(0)))
+        sim.schedule(0.075, lambda: network.send(0, 1, vote(1)))
+        sim.run()
+        assert network.stats.batches_sent == 1
+        assert network.stats.payloads_batched == 2
+
+    def test_link_filters_apply_to_batchable_payloads(self):
+        sim, network, inboxes = make_network(flush_interval=0.01)
+        network.add_link_filter(
+            lambda src, dst, msg: not isinstance(msg, Prepare)
+        )
+        network.send(0, 1, vote(0))  # vetoed at enqueue time
+        network.send(0, 1, Commit(view=0, sn=0, digest=DIGEST))
+        sim.run()
+        assert network.stats.messages_dropped == 1
+        assert [type(m) for _, m in inboxes[1]] == [Commit]
+
+    def test_tick_boundary_separates_frames(self):
+        sim, network, inboxes = make_network(flush_interval=0.01)
+        network.send(0, 1, vote(0))
+        # Second message lands in the next 10 ms window.
+        sim.schedule(0.015, lambda: network.send(0, 1, vote(1)))
+        sim.run()
+        assert network.stats.messages_sent == 2
+        assert network.stats.batches_sent == 0
+        assert len(inboxes[1]) == 2
+
+    def test_unbatchable_messages_bypass_the_batcher(self):
+        sim, network, inboxes = make_network(flush_interval=0.01)
+        batch = make_batch(make_request())
+        preprepare = PrePrepare(view=0, sn=0, value=batch, digest=batch.digest())
+        network.send(0, 1, preprepare)
+        assert network.batcher.pending_payloads() == 0
+        sim.run()
+        assert inboxes[1] == [(0, preprepare)]
+
+    def test_self_sends_bypass_the_batcher(self):
+        sim, network, inboxes = make_network(flush_interval=0.01)
+        network.send(0, 0, vote())
+        assert network.batcher.pending_payloads() == 0
+        sim.run()
+        assert len(inboxes[0]) == 1
+
+    def test_crashed_destination_drops_the_whole_frame(self):
+        sim, network, inboxes = make_network(flush_interval=0.01)
+        network.send(0, 1, vote(0))
+        network.send(0, 1, vote(1))
+        network.crash(1)
+        sim.run()
+        assert inboxes[1] == []
+        assert network.stats.messages_dropped == 1  # one wire frame
+
+    def test_flush_all_drains_pending_buffers(self):
+        sim, network, _ = make_network(flush_interval=5.0)
+        network.send(0, 1, vote(0))
+        network.send(0, 1, vote(1))
+        assert network.batcher.pending_payloads() == 2
+        network.batcher.flush_all()
+        assert network.batcher.pending_payloads() == 0
+        assert network.stats.messages_sent == 1
+
+    def test_batching_disabled_by_default(self):
+        sim, network, _ = make_network(flush_interval=0.0)
+        assert network.batcher is None
+        network.send(0, 1, vote())
+        assert network.stats.messages_sent == 1
+
+    def test_negative_flush_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(batch_flush_interval=-0.01).validate()
+        with pytest.raises(ValueError):
+            MessageBatcher(Simulator(), 0.0, lambda *a: None, wire_size)
+
+    def test_batcher_stats_roundtrip(self):
+        sim, network, _ = make_network(flush_interval=0.01)
+        for sn in range(3):
+            network.send(0, 1, vote(sn))
+        network.send(2, 3, vote(9))
+        sim.run()
+        stats = network.batcher.stats
+        assert stats.payloads_enqueued == 4
+        assert stats.batches_flushed == 1
+        assert stats.singletons_flushed == 1
+        assert stats.as_dict()["payloads_enqueued"] == 4
+
+
+def _run_deployment(flush_interval: float, **workload_overrides):
+    config = ISSConfig(num_nodes=4, random_seed=97)
+    workload = WorkloadConfig(
+        num_clients=8, total_rate=300.0, duration=2.0, **workload_overrides
+    )
+    deployment = Deployment(
+        config=config,
+        workload=workload,
+        network_config=NetworkConfig(batch_flush_interval=flush_interval),
+    )
+    result = deployment.run()
+    return deployment, result
+
+
+class TestDeploymentEquivalence:
+    def test_batching_preserves_what_gets_delivered(self):
+        dep_plain, res_plain = _run_deployment(0.0)
+        dep_batched, res_batched = _run_deployment(0.02)
+        # Same requests submitted and completed; only the wire changed.
+        assert res_batched.report.submitted == res_plain.report.submitted
+        assert res_batched.report.completed == res_plain.report.completed
+        assert [n.delivered_count() for n in dep_batched.nodes] == [
+            n.delivered_count() for n in dep_plain.nodes
+        ]
+        stats = dep_batched.network.stats
+        assert stats.batches_sent > 0
+        assert stats.messages_sent < dep_plain.network.stats.messages_sent
+
+    def test_same_seed_batched_runs_are_identical(self):
+        dep_a, res_a = _run_deployment(0.02)
+        dep_b, res_b = _run_deployment(0.02)
+        assert res_a.report.completed == res_b.report.completed
+        assert res_a.report.latency == res_b.report.latency
+        assert dep_a.sim.events_executed == dep_b.sim.events_executed
+        assert dep_a.network.stats.messages_sent == dep_b.network.stats.messages_sent
+        assert dep_a.network.stats.bytes_sent == dep_b.network.stats.bytes_sent
+        assert (
+            dep_a.network.stats.payloads_batched == dep_b.network.stats.payloads_batched
+        )
+
+
+class TestBatchedGoldenTrace:
+    """Same-seed delivery schedules of a batched run are pinned bit for bit.
+
+    The scenario mirrors the unbatched golden trace (client responses off so
+    the trace pins the sim/network/batching layers) with a 20 ms flush tick.
+    """
+
+    def test_delivery_order_matches_batched_golden_trace(self):
+        golden = json.loads(GOLDEN_BATCHED_PATH.read_text())
+        scenario = golden["scenario"]
+        config = ISSConfig(
+            num_nodes=scenario["num_nodes"],
+            random_seed=scenario["random_seed"],
+            send_client_responses=scenario["send_client_responses"],
+        )
+        workload = WorkloadConfig(
+            num_clients=scenario["num_clients"],
+            total_rate=scenario["total_rate"],
+            duration=scenario["duration"],
+            random_seed=scenario["workload_seed"],
+        )
+        deployment = Deployment(
+            config=config,
+            workload=workload,
+            network_config=NetworkConfig(
+                batch_flush_interval=scenario["batch_flush_interval"]
+            ),
+        )
+
+        trace = []
+
+        def record(node_id, item):
+            trace.append(
+                (
+                    node_id,
+                    item.sn,
+                    item.batch_sn,
+                    item.request.rid.client,
+                    item.request.rid.timestamp,
+                    round(item.delivered_at, 9),
+                )
+            )
+
+        for node in deployment.nodes:
+            node.on_deliver = record
+        for node in deployment.nodes:
+            node.start()
+        deployment.generator.start()
+        deployment.sim.run(until=workload.duration + deployment.drain_time)
+
+        assert len(trace) == golden["trace_len"]
+        assert trace[:5] == [tuple(entry) for entry in golden["first_entries"]]
+        digest = hashlib.sha256(repr(trace).encode()).hexdigest()
+        assert digest == golden["trace_sha256"]
+        assert deployment.sim.events_executed == golden["events_executed"]
+        assert deployment.network.stats.messages_sent == golden["messages_sent"]
+        assert deployment.network.stats.batches_sent == golden["batches_sent"]
+        assert deployment.network.stats.payloads_batched == golden["payloads_batched"]
+
+
+class TestProfilingScenarioReduction:
+    """The PR's acceptance criterion, asserted on the real scenario."""
+
+    def test_batched_scenario_cuts_messages_by_thirty_percent(self):
+        from repro.perf_smoke import BATCH_FLUSH_INTERVAL, build_deployment
+
+        plain = build_deployment()
+        plain.run()
+        batched = build_deployment(BATCH_FLUSH_INTERVAL)
+        batched_result = batched.run()
+
+        sent_plain = plain.network.stats.messages_sent
+        sent_batched = batched.network.stats.messages_sent
+        reduction = 1.0 - sent_batched / sent_plain
+        assert reduction >= 0.30, (
+            f"batched run sent {sent_batched} wire messages vs {sent_plain} "
+            f"unbatched — only {reduction:.1%} reduction"
+        )
+        # Delivery semantics unchanged: the same number of requests complete.
+        assert batched_result.report.completed > 0
+        assert (
+            batched.network.stats.messages_delivered
+            >= batched.network.stats.messages_sent
+        )

@@ -105,9 +105,23 @@ class TestScenarioHelpers:
         monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
         assert scenarios.bench_scale() == 2.5
         monkeypatch.setenv("REPRO_BENCH_SCALE", "not-a-number")
-        assert scenarios.bench_scale() == 1.0
+        assert scenarios.bench_scale() == scenarios.DEFAULT_BENCH_SCALE
         monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
         assert scenarios.bench_scale() == 0.25
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert scenarios.bench_scale() == scenarios.DEFAULT_BENCH_SCALE
+
+    def test_flush_interval_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLUSH_INTERVAL", "0.05")
+        assert scenarios.bench_flush_interval() == 0.05
+        monkeypatch.setenv("REPRO_FLUSH_INTERVAL", "0")
+        assert scenarios.bench_flush_interval() == 0.0
+        monkeypatch.setenv("REPRO_FLUSH_INTERVAL", "garbage")
+        assert scenarios.bench_flush_interval() == scenarios.DEFAULT_FLUSH_INTERVAL
+        monkeypatch.setenv("REPRO_FLUSH_INTERVAL", "-1")
+        assert scenarios.bench_flush_interval() == 0.0
+        monkeypatch.delenv("REPRO_FLUSH_INTERVAL")
+        assert scenarios.scaled_network().batch_flush_interval == scenarios.DEFAULT_FLUSH_INTERVAL
 
     def test_scalability_point_runs_quickly(self):
         row = scenarios.scalability_point("iss", "pbft", 4, offered_loads=(200.0,), duration=3.0)
