@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check perf-smoke bench
+.PHONY: test docs-check perf-smoke recovery-smoke bench
 
 # Tier-1 test suite (the CI gate; see ROADMAP.md).
 test:
@@ -18,6 +18,12 @@ docs-check:
 # docs check; writes BENCH_hotpath.json (see PERF.md).
 perf-smoke:
 	$(PYTHON) benchmarks/run_perf_smoke.py
+
+# Seeded crash→restart scenario: WAL replay + state transfer must catch the
+# node up, keep its log identical to the peers', and replay deterministically
+# against tests/data/golden_trace_recovery.json (see repro.recovery_smoke).
+recovery-smoke:
+	$(PYTHON) -m repro.recovery_smoke
 
 # Hot-path microbenchmarks (diagnose what perf-smoke flags).
 bench:

@@ -1,11 +1,19 @@
 #!/usr/bin/env python
-"""CI entry point for the hot-path perf smoke test plus the docs check.
+"""CI entry point: perf smoke + crash-recovery smoke + docs check.
 
-Runs ``python -m repro.perf_smoke`` (profiling scenario, unbatched and
-batched — see that module and PERF.md for the output format and regression
-semantics) and then ``python -m repro.doccheck`` (docstring audit + README
-code-block execution).  The exit status is non-zero when *either* gate
-fails, so CI catches perf and documentation regressions in one step.
+Runs, in order:
+
+* ``python -m repro.perf_smoke`` — profiling scenario, unbatched and
+  batched (see that module and PERF.md for the output format and
+  regression semantics),
+* ``python -m repro.recovery_smoke`` — seeded crash→restart scenario;
+  the restarted node must catch up, stay log-identical to its peers, and
+  replay deterministically against the recovery golden trace,
+* ``python -m repro.doccheck`` — docstring audit + README code-block
+  execution.
+
+The exit status is non-zero when *any* gate fails, so CI catches perf,
+recovery and documentation regressions in one step.
 
 Usage::
 
@@ -19,8 +27,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.doccheck import main as doccheck_main  # noqa: E402
 from repro.perf_smoke import main as perf_main  # noqa: E402
+from repro.recovery_smoke import main as recovery_main  # noqa: E402
 
 if __name__ == "__main__":
     perf_status = perf_main()
+    recovery_status = recovery_main([])
     doc_status = doccheck_main([])
-    sys.exit(perf_status or doc_status)
+    sys.exit(perf_status or recovery_status or doc_status)

@@ -126,6 +126,36 @@ class CheckpointProtocol:
             self._stable[message.epoch] = certificate
             self.on_stable(message.epoch, certificate)
 
+    # ----------------------------------------------------------- restoration
+    def restore_stable(self, certificate: CheckpointCertificate) -> bool:
+        """Install an externally obtained stable certificate.
+
+        Used by state transfer (a verified response carries the epoch's
+        certificate) and by crash recovery (certificates replayed from the
+        write-ahead log).  Fires :attr:`on_stable` exactly as a locally
+        reached quorum would, so the epoch's SB instances are garbage
+        collected; returns False when the epoch was already stable.
+
+        The epoch is also marked announced: it is provably stable at 2f+1
+        peers already, so broadcasting our own CHECKPOINT vote for it when
+        the local log later completes would only add stale wire noise.
+        """
+        epoch = certificate.epoch
+        if epoch in self._stable:
+            return False
+        self._stable[epoch] = certificate
+        self._announced_local.add(epoch)
+        self.on_stable(epoch, certificate)
+        return True
+
+    def mark_announced(self, epoch: EpochNr) -> None:
+        """Suppress the local CHECKPOINT broadcast for ``epoch``.
+
+        Crash recovery marks every epoch the pre-crash incarnation already
+        announced, so the restarted node does not replay stale votes.
+        """
+        self._announced_local.add(epoch)
+
     # -------------------------------------------------------------- queries
     def stable_checkpoint(self, epoch: EpochNr) -> Optional[CheckpointCertificate]:
         return self._stable.get(epoch)

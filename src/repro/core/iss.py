@@ -11,7 +11,13 @@ This module ties together everything the paper's Algorithms 1–3 describe:
   unsuccessful proposals on ``⊥``,
 * contiguous delivery with per-request sequence numbers (Equation 2) and
   client responses,
-* epoch transitions, checkpointing, garbage collection and state transfer.
+* epoch transitions, checkpointing, garbage collection and state transfer,
+* durable persistence: when the node owns a
+  :class:`~repro.storage.node_storage.NodeStorage`, every commit, epoch
+  start and stable checkpoint is recorded through a narrow persist hook so
+  a crashed node can be rebuilt by
+  :class:`~repro.storage.recovery.RecoveryManager` (WAL replay + snapshot)
+  and catch up on whatever it missed via state transfer.
 
 Wire efficiency: client acknowledgements are aggregated per (client, commit
 step) into :class:`~repro.core.messages.ClientResponseBatchMsg` here, and —
@@ -30,6 +36,7 @@ from ..fd.detector import FailureDetector, HeartbeatMsg
 from ..sim.faults import FaultInjector, StragglerSpec
 from ..sim.network import Network
 from ..sim.simulator import Simulator, Timer
+from ..storage.node_storage import NodeStorage
 from .buckets import BucketPool
 from .checkpoint import CheckpointMsg, CheckpointProtocol
 from .config import ISSConfig, PROTOCOL_CONSENSUS
@@ -82,6 +89,7 @@ class ISSNode:
         policy: Optional[LeaderSelectionPolicy] = None,
         layout: str = LAYOUT_ROUND_ROBIN,
         sb_factory: Optional[SBFactory] = None,
+        storage: Optional[NodeStorage] = None,
     ):
         self.node_id = node_id
         self.config = config
@@ -93,6 +101,11 @@ class ISSNode:
         self.fault_injector = fault_injector
         self.straggler = straggler if straggler and straggler.node == node_id else None
         self.layout = layout
+        #: Durable storage (WAL + snapshots); ``None`` disables persistence.
+        self.storage = storage
+        #: While True (set between restart and caught-up), stable
+        #: checkpoints for the *current* epoch also trigger state transfer.
+        self._catchup_aggressive = False
 
         # --- replicated state -------------------------------------------------
         self.log = Log()
@@ -157,9 +170,14 @@ class ISSNode:
     # ====================================================================== API
     def start(self) -> None:
         """Boot the node: start the failure detector and epoch 0."""
+        self.start_at(0)
+
+    def start_at(self, epoch: EpochNr) -> None:
+        """Boot the node at ``epoch`` (0 for a fresh boot, the recovery
+        manager's resume epoch after a restart)."""
         if self.failure_detector is not None:
             self.failure_detector.start()
-        self._start_epoch(0)
+        self._start_epoch(epoch)
 
     def crash(self) -> None:
         """Stop all local activity (used by the fault injector)."""
@@ -167,6 +185,23 @@ class ISSNode:
         self.orderer.stop_all()
         if self.failure_detector is not None:
             self.failure_detector.stop()
+
+    def begin_recovery_catchup(self) -> None:
+        """Post-restart: fetch everything the peers can prove stable.
+
+        Sends the open-ended state-transfer probe and switches the
+        checkpoint handler into aggressive mode (a stable checkpoint for
+        the *current* epoch with an incomplete local log also triggers
+        transfer — the epoch's SB instances were garbage collected at the
+        peers, so votes alone can no longer complete it here).
+        """
+        self._catchup_aggressive = True
+        peers = [n for n in range(self.config.num_nodes) if n != self.node_id]
+        self.state_transfer.request_latest(self.current_epoch, peers)
+
+    def end_recovery_catchup(self) -> None:
+        """Leave aggressive catch-up mode (the node is back at the frontier)."""
+        self._catchup_aggressive = False
 
     def submit_request(self, request: Request) -> bool:
         """Entry point for a locally injected request (bypassing the network).
@@ -260,12 +295,22 @@ class ISSNode:
             return
         self.current_epoch = epoch
         self._proposed_this_epoch = {}
-        segments = self.manager.segments_for(epoch)
-        interval = self.manager.proposal_interval(epoch)
+        if self.storage is not None:
+            self.storage.record_epoch_start(epoch)
         if self.fault_injector is not None:
             self.fault_injector.notify_epoch_start(self.node_id, epoch)
             if self.crashed:
                 return
+        if self.manager.epoch_complete(epoch, self.log):
+            # Every position of the epoch is already committed (state
+            # transfer or recovery replay ran ahead): opening SB instances
+            # would re-propose decided positions and strand the requests
+            # they cut.  The transition loop in _after_commit finishes the
+            # epoch immediately; buffered instance messages are stale.
+            self._pending_messages.pop(epoch, None)
+            return
+        segments = self.manager.segments_for(epoch)
+        interval = self.manager.proposal_interval(epoch)
         for segment in segments:
             context = self._build_context(segment, interval)
             self.orderer.open_segment(context)
@@ -370,6 +415,8 @@ class ISSNode:
         if self.log.has_entry(sn):
             return
         self.log.commit(sn, value, segment.epoch, self.sim.now)
+        if self.storage is not None:
+            self.storage.record_commit(sn, value, segment.epoch)
         if is_nil(value):
             self.nil_committed += 1
             proposed = self._proposed.get(sn)
@@ -386,6 +433,20 @@ class ISSNode:
 
     def _apply_transferred_entry(self, sn: SeqNr, entry: LogEntry, epoch: EpochNr) -> None:
         """Apply a state-transferred log entry (same effects as SB-DELIVER)."""
+        if self.log.has_entry(sn):
+            return
+        self.restore_entry(sn, entry, epoch)
+        if self.storage is not None:
+            self.storage.record_commit(sn, entry, epoch)
+
+    def restore_entry(self, sn: SeqNr, entry: LogEntry, epoch: EpochNr) -> None:
+        """Apply one already-persisted entry without re-persisting it.
+
+        The recovery manager replays snapshot and WAL entries through this
+        method; the bookkeeping mirrors SB-DELIVER (delivered sets, client
+        watermarks, commit counters) minus the persist hook and the
+        delivery/epoch advancement, which recovery drives itself.
+        """
         if self.log.has_entry(sn):
             return
         self.log.commit(sn, entry, epoch, self.sim.now)
@@ -418,14 +479,31 @@ class ISSNode:
 
     # ============================================================ checkpointing
     def _on_stable_checkpoint(self, epoch: EpochNr, certificate) -> None:
-        """Garbage-collect the epoch's instances once its checkpoint is stable."""
+        """Garbage-collect the epoch's instances once its checkpoint is stable,
+        and persist the certificate (which compacts the WAL below it)."""
         self.orderer.stop_epoch(epoch)
+        if self.storage is not None:
+            self.storage.record_stable_checkpoint(certificate)
 
     def _maybe_request_state_transfer(self, checkpoint_epoch: EpochNr) -> None:
         """A stable checkpoint ahead of us means we fell behind: catch up."""
         if checkpoint_epoch > self.current_epoch:
             peers = [n for n in range(self.config.num_nodes) if n != self.node_id]
             self.state_transfer.request_missing(self.current_epoch, checkpoint_epoch, peers)
+        elif (
+            self._catchup_aggressive
+            and checkpoint_epoch == self.current_epoch
+            and self.checkpoints.stable_checkpoint(checkpoint_epoch) is not None
+            and not self.manager.epoch_complete(checkpoint_epoch, self.log)
+        ):
+            # Post-restart: the current epoch is provably decided (stable
+            # checkpoint) but our log has holes we can no longer fill via
+            # SB — the instances were garbage collected at the peers.
+            # Force a transfer even if an earlier request is in flight.
+            peers = [n for n in range(self.config.num_nodes) if n != self.node_id]
+            self.state_transfer.request_missing(
+                checkpoint_epoch, checkpoint_epoch, peers, force=True
+            )
 
     # ======================================================= instance messages
     def _send_instance_message(self, dst: NodeId, instance_id: InstanceId, payload: object) -> None:

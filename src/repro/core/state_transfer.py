@@ -4,6 +4,15 @@ When a node starts receiving messages for an epoch far ahead of its own —
 for example after recovering from a partition — it fetches the missing log
 entries together with the stable checkpoint that proves their integrity,
 instead of replaying the ordering protocol for them.
+
+This is also the second half of crash recovery (see
+:mod:`repro.storage.recovery`): a restarted node replays its WAL and
+snapshot locally, then probes peers with an *open-ended* request
+(``last_epoch = LATEST_STABLE``) for everything they can prove stable —
+including epochs ordered entirely while the node was down.  Verified
+responses additionally restore the epoch's checkpoint certificate into the
+local checkpoint protocol, so transferred epochs are garbage collected and
+compacted exactly like locally completed ones.
 """
 
 from __future__ import annotations
@@ -18,9 +27,19 @@ from .segment import epoch_seq_nrs
 from .types import Batch, CheckpointCertificate, EpochNr, LogEntry, NIL, NodeId, SeqNr, is_nil
 
 
+#: Sentinel ``last_epoch`` meaning "every epoch you can prove stable".
+#: Used by the crash-recovery probe, which cannot know how far ahead the
+#: live nodes have ordered while the requester was down.
+LATEST_STABLE: EpochNr = -1
+
+
 @dataclass(frozen=True)
 class StateRequest:
-    """Ask a peer for all log entries of the given epochs."""
+    """Ask a peer for all log entries of the given epochs.
+
+    ``last_epoch = LATEST_STABLE`` is an open-ended request: the responder
+    substitutes its own latest stable epoch.
+    """
 
     first_epoch: EpochNr
     last_epoch: EpochNr
@@ -69,12 +88,33 @@ class StateTransfer:
         #: Epochs for which a transfer is currently outstanding.
         self._in_flight: set = set()
         self.transfers_completed = 0
+        #: Wire bytes of every StateResponse received (incl. duplicates).
+        self.bytes_received = 0
+        #: Log entries actually applied from verified responses.
+        self.entries_applied = 0
+        #: Open-ended recovery probes sent.
+        self.probes_sent = 0
 
     # ----------------------------------------------------------- requesting
-    def request_missing(self, first_epoch: EpochNr, last_epoch: EpochNr, peers: List[NodeId]) -> None:
-        """Ask peers for the epochs in ``[first_epoch, last_epoch]``."""
+    def request_missing(
+        self,
+        first_epoch: EpochNr,
+        last_epoch: EpochNr,
+        peers: List[NodeId],
+        force: bool = False,
+    ) -> None:
+        """Ask peers for the epochs in ``[first_epoch, last_epoch]``.
+
+        ``force`` re-requests epochs already marked in flight — the
+        recovery catch-up path uses it when it *knows* a stable checkpoint
+        exists for an epoch an earlier request failed to obtain (e.g. the
+        request predated the checkpoint, or the responder crashed
+        mid-transfer).
+        """
         wanted = [
-            e for e in range(first_epoch, last_epoch + 1) if e not in self._in_flight
+            e
+            for e in range(first_epoch, last_epoch + 1)
+            if force or e not in self._in_flight
         ]
         if not wanted:
             return
@@ -85,11 +125,31 @@ class StateTransfer:
             if peer != self.node_id:
                 self._send(peer, request)
 
+    def request_latest(self, first_epoch: EpochNr, peers: List[NodeId]) -> None:
+        """Open-ended recovery probe: fetch everything stable from ``first_epoch`` on.
+
+        A freshly restarted node cannot know how many epochs were ordered
+        while it was down, so it asks every peer for all epochs they can
+        prove; duplicate responses are idempotent and redundant peers make
+        the probe robust to a responder crashing mid-transfer.
+        """
+        self.probes_sent += 1
+        request = StateRequest(first_epoch=first_epoch, last_epoch=LATEST_STABLE)
+        for peer in peers:
+            if peer != self.node_id:
+                self._send(peer, request)
+
     # ------------------------------------------------------------ answering
     def build_responses(self, request: StateRequest, log: Log) -> List[StateResponse]:
         """Build responses for every requested epoch we can prove stable."""
+        last_epoch = request.last_epoch
+        if last_epoch == LATEST_STABLE:
+            latest = self.checkpoints.latest_stable_epoch()
+            if latest is None:
+                return []
+            last_epoch = latest
         responses: List[StateResponse] = []
-        for epoch in range(request.first_epoch, request.last_epoch + 1):
+        for epoch in range(request.first_epoch, last_epoch + 1):
             certificate = self.checkpoints.stable_checkpoint(epoch)
             if certificate is None:
                 continue
@@ -108,8 +168,12 @@ class StateTransfer:
 
         Returns True when the epoch was applied (or already present).
         The certificate signature quorum and the Merkle root over the
-        received entries are both checked before anything touches the log.
+        received entries are both checked before anything touches the log;
+        a verified certificate is additionally restored into the local
+        checkpoint protocol so the epoch is stable (and garbage collected)
+        at the receiver exactly as if it had collected the votes itself.
         """
+        self.bytes_received += response.wire_size()
         epoch = response.epoch
         if epoch not in self._in_flight and log.is_complete(
             epoch_seq_nrs(epoch, self.config.epoch_length)
@@ -130,6 +194,10 @@ class StateTransfer:
         for sn, entry in response.entries:
             if not log.has_entry(sn):
                 self._apply_entry(sn, entry, epoch)
+                self.entries_applied += 1
+        # Entries first, certificate second: compaction triggered by the
+        # restored certificate then sees the complete prefix right away.
+        self.checkpoints.restore_stable(response.certificate)
         self._in_flight.discard(epoch)
         self.transfers_completed += 1
         return True

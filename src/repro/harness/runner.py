@@ -6,10 +6,22 @@ open-loop workload generator, fault injection and metrics — runs it for the
 configured virtual duration, and returns a :class:`~repro.metrics.RunReport`.
 This is the programmatic equivalent of the paper's cloud-deployment tooling
 (Section 4.4.3), minus the cloud bill.
+
+Crash recovery: when restart specs are given (or ``durable_storage=True``),
+every node owns a :class:`~repro.storage.node_storage.NodeStorage` that
+outlives it.  A scheduled :class:`~repro.sim.faults.RestartSpec` tears the
+crashed incarnation down and the deployment rebuilds the node from that
+storage — WAL replay plus snapshot via
+:class:`~repro.storage.recovery.RecoveryManager`, then state transfer for
+everything ordered while the node was down.  A poll watcher (tick
+``REPRO_RECOVERY_POLL_INTERVAL``) detects when the node is back at the
+cluster frontier and attaches one recovery record (downtime, WAL entries
+replayed, state-transfer bytes, time-to-caught-up) to the run's report.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Type
 
@@ -21,14 +33,37 @@ from ..core.leader_policy import LeaderSelectionPolicy
 from ..core.segment import LAYOUT_ROUND_ROBIN
 from ..crypto.signatures import KeyStore
 from ..metrics.collector import MetricsCollector, RunReport
-from ..sim.faults import CrashSpec, FaultInjector, StragglerSpec
+from ..sim.faults import CrashSpec, FaultInjector, RestartSpec, StragglerSpec
 from ..sim.latency import LatencyModel
 from ..sim.network import Network
 from ..sim.simulator import Simulator
+from ..storage.node_storage import NodeStorage
+from ..storage.recovery import RecoveryInfo, RecoveryManager
 from ..workload.generator import WorkloadGenerator
 
 #: Factory returning a fresh leader-selection policy for one node.
 PolicyFactory = Callable[[ISSConfig], LeaderSelectionPolicy]
+
+#: Default virtual-time tick of the post-restart catch-up watcher (seconds).
+DEFAULT_RECOVERY_POLL_INTERVAL = 0.25
+
+
+def recovery_poll_interval() -> float:
+    """Catch-up watcher tick (env var ``REPRO_RECOVERY_POLL_INTERVAL``).
+
+    Unparseable or non-positive values fall back to
+    :data:`DEFAULT_RECOVERY_POLL_INTERVAL`.  The tick is virtual time, so it
+    changes *when* a recovery is declared caught-up (quantisation) but not
+    what the protocol does.
+    """
+    raw = os.environ.get("REPRO_RECOVERY_POLL_INTERVAL")
+    if raw is None:
+        return DEFAULT_RECOVERY_POLL_INTERVAL
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_RECOVERY_POLL_INTERVAL
+    return value if value > 0 else DEFAULT_RECOVERY_POLL_INTERVAL
 
 
 @dataclass
@@ -40,6 +75,8 @@ class DeploymentResult:
     clients: List[Client] = field(default_factory=list)
     network: Optional[Network] = None
     collector: Optional[MetricsCollector] = None
+    #: Per-node durable storage (empty unless the deployment enables it).
+    storages: Dict[int, NodeStorage] = field(default_factory=dict)
 
 
 class Deployment:
@@ -52,6 +89,9 @@ class Deployment:
         workload: Optional[WorkloadConfig] = None,
         crash_specs: Sequence[CrashSpec] = (),
         straggler_specs: Sequence[StragglerSpec] = (),
+        restart_specs: Sequence[RestartSpec] = (),
+        durable_storage: Optional[bool] = None,
+        recovery_poll: Optional[float] = None,
         policy_factory: Optional[PolicyFactory] = None,
         node_class: Type[ISSNode] = ISSNode,
         layout: str = LAYOUT_ROUND_ROBIN,
@@ -62,10 +102,24 @@ class Deployment:
         self.workload = workload or WorkloadConfig()
         self.crash_specs = list(crash_specs)
         self.straggler_specs = list(straggler_specs)
+        self.restart_specs = list(restart_specs)
         self.policy_factory = policy_factory
         self.node_class = node_class
         self.layout = layout
         self.drain_time = drain_time
+        # Restarts need durable state to recover from; storage defaults on
+        # exactly when a restart is scheduled so crash-only and fault-free
+        # deployments keep their persistence-free hot path (and their golden
+        # traces) unchanged.
+        if durable_storage is None:
+            durable_storage = bool(self.restart_specs)
+        self.durable_storage = durable_storage
+        #: Catch-up watcher tick, resolved once per deployment (pass an
+        #: explicit value to pin it against the env var, e.g. for golden
+        #: traces).
+        self.recovery_poll = (
+            recovery_poll if recovery_poll and recovery_poll > 0 else recovery_poll_interval()
+        )
 
         self.sim = Simulator(seed=config.random_seed)
         self.latency = LatencyModel(self.network_config, config.num_nodes)
@@ -76,30 +130,28 @@ class Deployment:
             completion_quorum=config.weak_quorum, warmup=self.workload.warmup
         )
 
-        client_ids = list(range(self.workload.num_clients))
-        stragglers_by_node: Dict[int, StragglerSpec] = {
+        self.client_ids = list(range(self.workload.num_clients))
+        client_ids = self.client_ids
+        self._stragglers_by_node: Dict[int, StragglerSpec] = {
             spec.node: spec for spec in self.straggler_specs
         }
+        self.storages: Dict[int, NodeStorage] = {}
+        if self.durable_storage:
+            self.storages = {
+                node_id: NodeStorage(node_id) for node_id in range(config.num_nodes)
+            }
+        #: Crash time per node (for the downtime figure of recovery records).
+        self._crash_times: Dict[int, float] = {}
+        #: Recovery records of restarted nodes still catching up.
+        self._pending_recoveries: List[Dict[str, float]] = []
 
-        self.nodes: List[ISSNode] = []
-        for node_id in range(config.num_nodes):
-            policy = self.policy_factory(config) if self.policy_factory else None
-            node = self.node_class(
-                node_id=node_id,
-                config=config,
-                sim=self.sim,
-                network=self.network,
-                key_store=self.key_store,
-                client_ids=client_ids,
-                on_deliver=self.collector.record_delivery,
-                fault_injector=self.injector,
-                straggler=stragglers_by_node.get(node_id),
-                policy=policy,
-                layout=layout,
-            )
-            self.nodes.append(node)
+        self.nodes: List[ISSNode] = [
+            self._build_node(node_id) for node_id in range(config.num_nodes)
+        ]
         self.injector.on_crash = self._on_node_crash
+        self.injector.on_restart = self._on_node_restart
         self.injector.schedule_all(self.crash_specs)
+        self.injector.schedule_restarts(self.restart_specs)
 
         self.clients: List[Client] = []
         for client_id in client_ids:
@@ -121,10 +173,114 @@ class Deployment:
             on_submit=lambda request, time: self.collector.record_submit(request.rid, time),
         )
 
-    # ------------------------------------------------------------------ run
+    # ----------------------------------------------------------- node builds
+    def _build_node(self, node_id: int) -> ISSNode:
+        """Instantiate (or re-instantiate, after a restart) one node.
+
+        The constructor registers the node's network handler, so building a
+        replacement incarnation atomically takes over the endpoint from the
+        crashed one.  The node's :class:`NodeStorage` — if the deployment has
+        one — is shared across incarnations; everything else is fresh.
+        """
+        policy = self.policy_factory(self.config) if self.policy_factory else None
+        return self.node_class(
+            node_id=node_id,
+            config=self.config,
+            sim=self.sim,
+            network=self.network,
+            key_store=self.key_store,
+            client_ids=self.client_ids,
+            on_deliver=self.collector.record_delivery,
+            fault_injector=self.injector,
+            straggler=self._stragglers_by_node.get(node_id),
+            policy=policy,
+            layout=self.layout,
+            storage=self.storages.get(node_id),
+        )
+
+    # ------------------------------------------------------- crash / restart
     def _on_node_crash(self, node_id: int) -> None:
+        self._crash_times[node_id] = self.sim.now
         self.nodes[node_id].crash()
 
+    def _on_node_restart(self, node_id: int) -> None:
+        """Rebuild a crashed node from its durable storage.
+
+        Recovery mirrors a production replica restart: replay the
+        checkpoint-anchored snapshot and the WAL tail into a fresh node
+        (:class:`RecoveryManager`), boot it at the first epoch storage does
+        not complete, then let the open-ended state-transfer probe fetch
+        everything ordered while the node was down.  A watcher polls until
+        the node is back at the cluster frontier and only then attaches the
+        recovery record (so ``time_to_caught_up`` includes state transfer).
+        """
+        restarted_at = self.sim.now
+        node = self._build_node(node_id)
+        storage = self.storages.get(node_id)
+        if storage is not None:
+            info = RecoveryManager(storage).recover(node, now=restarted_at)
+        else:
+            # Diskless restart: nothing local to replay; state transfer
+            # alone rebuilds the log from the peers' stable checkpoints.
+            info = RecoveryInfo(node_id=node_id, resume_epoch=0)
+        self.nodes[node_id] = node
+        node.start_at(info.resume_epoch)
+        node.begin_recovery_catchup()
+
+        record = info.as_dict()
+        record["restarted_at"] = restarted_at
+        record["downtime"] = restarted_at - self._crash_times.get(node_id, restarted_at)
+        #: -1 means "still catching up"; overwritten by the watcher.
+        record["time_to_caught_up"] = -1.0
+        record["state_transfer_bytes"] = 0.0
+        record["state_transfer_entries"] = 0.0
+        self._pending_recoveries.append(record)
+        self.sim.schedule(
+            self.recovery_poll, lambda: self._poll_catchup(node, record)
+        )
+
+    def _poll_catchup(self, node: ISSNode, record: Dict[str, float]) -> None:
+        """Periodic check whether a restarted node reached the frontier.
+
+        The watcher is bound to the exact incarnation it was started for: if
+        that incarnation crashed — even if a newer one already took its
+        place within the same poll tick — this record stays pending and is
+        finalised as not-caught-up (time_to_caught_up = -1) at report time;
+        the newer incarnation's restart started its own watcher.
+        """
+        if node.crashed or self.nodes[node.node_id] is not node:
+            return
+        if self._caught_up(node):
+            record["time_to_caught_up"] = self.sim.now - record["restarted_at"]
+            record["state_transfer_bytes"] = float(node.state_transfer.bytes_received)
+            record["state_transfer_entries"] = float(node.state_transfer.entries_applied)
+            node.end_recovery_catchup()
+            self._pending_recoveries.remove(record)
+            self.collector.record_recovery(record)
+            return
+        self.sim.schedule(
+            self.recovery_poll, lambda: self._poll_catchup(node, record)
+        )
+
+    def _caught_up(self, node: ISSNode) -> bool:
+        """Is the restarted node back at the frontier of the live cluster?
+
+        Caught up means: at least the epoch of the most advanced live peer,
+        and a delivered prefix no shorter than the slowest live peer's.  Both
+        bounds compare against *live* peers only — a cluster where everyone
+        else is down has no frontier to chase.
+        """
+        peers = [n for n in self.nodes if n is not node and not n.crashed]
+        if not peers:
+            return True
+        max_epoch = max(peer.current_epoch for peer in peers)
+        min_frontier = min(peer.log.first_undelivered for peer in peers)
+        return (
+            node.current_epoch >= max_epoch
+            and node.log.first_undelivered >= min_frontier
+        )
+
+    # ------------------------------------------------------------------ run
     def run(self) -> DeploymentResult:
         """Run the experiment and return its report."""
         for node in self.nodes:
@@ -132,6 +288,11 @@ class Deployment:
         self.generator.start()
         total_time = self.workload.duration + self.drain_time
         self.sim.run(until=total_time)
+        # Restarted nodes that never reached the frontier keep their record,
+        # flagged by time_to_caught_up = -1 (set at restart time).
+        for record in self._pending_recoveries:
+            self.collector.record_recovery(record)
+        self._pending_recoveries = []
         report = self.collector.report(duration=self.workload.duration, extra=self._extra_stats())
         return DeploymentResult(
             report=report,
@@ -139,12 +300,13 @@ class Deployment:
             clients=self.clients,
             network=self.network,
             collector=self.collector,
+            storages=self.storages,
         )
 
     def _extra_stats(self) -> Dict[str, float]:
         alive = [n for n in self.nodes if not n.crashed]
         sample = alive[0] if alive else self.nodes[0]
-        return {
+        stats = {
             "messages_sent": float(self.network.stats.messages_sent),
             "bytes_sent": float(self.network.stats.bytes_sent),
             "messages_dropped": float(self.network.stats.messages_dropped),
@@ -155,6 +317,19 @@ class Deployment:
             "requests_deferred": float(self.generator.deferred),
             "sim_events": float(self.sim.events_executed),
         }
+        if self.restart_specs:
+            stats["restarts_performed"] = float(len(self.injector.restarted_nodes()))
+        if self.storages:
+            stats["wal_appended_total"] = float(
+                sum(s.wal.appended_total for s in self.storages.values())
+            )
+            stats["snapshots_installed_total"] = float(
+                sum(s.snapshots.installed_total for s in self.storages.values())
+            )
+            stats["compactions_total"] = float(
+                sum(s.compactions for s in self.storages.values())
+            )
+        return stats
 
 
 def run_experiment(

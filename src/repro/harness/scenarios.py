@@ -32,7 +32,7 @@ from ..core.config import (
 )
 from ..core.segment import LAYOUT_CONTIGUOUS, LAYOUT_ROUND_ROBIN
 from ..metrics.collector import RunReport
-from ..sim.faults import CrashSpec, StragglerSpec
+from ..sim.faults import CrashSpec, RestartSpec, StragglerSpec
 from ..workload.faults import epoch_end_crashes, epoch_start_crashes, stragglers
 from .runner import Deployment
 
@@ -161,6 +161,7 @@ def _run(
     duration: float,
     crash_specs: Sequence[CrashSpec] = (),
     straggler_specs: Sequence[StragglerSpec] = (),
+    restart_specs: Sequence[RestartSpec] = (),
     node_class=None,
     policy_factory=None,
     layout: str = LAYOUT_ROUND_ROBIN,
@@ -171,6 +172,7 @@ def _run(
         workload=_workload(rate, duration),
         crash_specs=crash_specs,
         straggler_specs=straggler_specs,
+        restart_specs=restart_specs,
         layout=layout,
         drain_time=drain_time,
     )
@@ -431,6 +433,140 @@ def layout_ablation(
                 "throughput": report.throughput,
                 "latency_mean": report.latency.mean,
                 "latency_p95": report.latency.p95,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Crash-recovery scenarios — crash → restart → WAL replay + state transfer
+# ---------------------------------------------------------------------------
+
+def delivered_prefix_matches(reference, restarted) -> bool:
+    """Do two nodes agree on every position both have delivered?
+
+    The SMR safety property the recovery path must preserve: a restarted
+    node's delivered sequence is a prefix-compatible copy of a never-crashed
+    peer's (same entry digest at every shared position).
+    """
+    shared = min(reference.log.first_undelivered, restarted.log.first_undelivered)
+    for sn in range(shared):
+        a = reference.log.entry(sn)
+        b = restarted.log.entry(sn)
+        if a is b:
+            continue
+        if a is None or b is None or a.digest() != b.digest():
+            return False
+    return True
+
+
+def crash_restart_point(
+    protocol: str,
+    num_nodes: int = 4,
+    rate: float = 800.0,
+    duration: float = 30.0,
+    crash_time: float = 3.0,
+    downtime: float = 12.0,
+    victim: int = 1,
+    seed: int = 11,
+) -> Dict[str, object]:
+    """One crash→restart experiment: crash ``victim`` mid-run, restart it
+    ``downtime`` seconds later, and report how recovery went.
+
+    The returned row combines the harness's recovery record (downtime, WAL
+    entries replayed, state-transfer bytes, time-to-caught-up — see
+    :meth:`repro.harness.runner.Deployment._on_node_restart`) with the
+    delivered-prefix equivalence check and the run's throughput figures.
+    """
+    config = iss_config(protocol, num_nodes, random_seed=seed)
+    deployment = Deployment(
+        config,
+        network_config=scaled_network(),
+        workload=_workload(rate, duration),
+        crash_specs=[CrashSpec(node=victim, trigger="at-time", time=crash_time)],
+        restart_specs=[RestartSpec(node=victim, time=crash_time + downtime)],
+    )
+    result = deployment.run()
+    report = result.report
+    recovery = dict(report.recoveries[0]) if report.recoveries else {}
+    reference = next(
+        node for node in result.nodes if node.node_id != victim and not node.crashed
+    )
+    return {
+        "protocol": protocol,
+        "nodes": num_nodes,
+        "victim": victim,
+        "crash_time": crash_time,
+        "downtime": downtime,
+        "recovery": recovery,
+        "prefix_matches": delivered_prefix_matches(reference, result.nodes[victim]),
+        "caught_up": recovery.get("time_to_caught_up", -1.0) >= 0.0,
+        "throughput": report.throughput,
+        "latency_mean": report.latency.mean,
+        "wal_appended_total": report.extra.get("wal_appended_total", 0.0),
+        "snapshots_installed_total": report.extra.get("snapshots_installed_total", 0.0),
+    }
+
+
+def crash_restart_sweep(
+    protocols: Sequence[str] = (PROTOCOL_PBFT, PROTOCOL_HOTSTUFF, PROTOCOL_RAFT),
+    num_nodes: int = 4,
+    rate: float = 800.0,
+    duration: float = 30.0,
+    crash_time: float = 3.0,
+    downtime: float = 12.0,
+) -> List[Dict[str, object]]:
+    """Crash→restart→catch-up across SB protocols (one row per protocol)."""
+    return [
+        crash_restart_point(
+            protocol,
+            num_nodes=num_nodes,
+            rate=rate,
+            duration=duration,
+            crash_time=crash_time,
+            downtime=downtime,
+        )
+        for protocol in protocols
+    ]
+
+
+def recovery_time_over_downtime(
+    protocol: str = PROTOCOL_PBFT,
+    num_nodes: int = 4,
+    rate: float = 800.0,
+    downtimes: Sequence[float] = (5.0, 10.0, 15.0),
+    crash_time: float = 3.0,
+    tail_time: float = 15.0,
+) -> List[Dict[str, object]]:
+    """Recovery-time curve: how catch-up cost grows with time spent down.
+
+    Longer downtime ⇒ more epochs ordered without the victim ⇒ more state
+    transfer on restart.  Each run extends the experiment so the node always
+    gets ``tail_time`` seconds of post-restart run time to catch up in.
+    """
+    rows: List[Dict[str, object]] = []
+    for downtime in downtimes:
+        duration = crash_time + downtime + tail_time
+        point = crash_restart_point(
+            protocol,
+            num_nodes=num_nodes,
+            rate=rate,
+            duration=duration,
+            crash_time=crash_time,
+            downtime=downtime,
+        )
+        recovery = point["recovery"]
+        rows.append(
+            {
+                "protocol": protocol,
+                "downtime": downtime,
+                "time_to_caught_up": recovery.get("time_to_caught_up", -1.0),
+                "wal_entries_replayed": recovery.get("wal_entries_replayed", 0.0),
+                "snapshot_entries": recovery.get("snapshot_entries", 0.0),
+                "state_transfer_bytes": recovery.get("state_transfer_bytes", 0.0),
+                "state_transfer_entries": recovery.get("state_transfer_entries", 0.0),
+                "prefix_matches": point["prefix_matches"],
+                "caught_up": point["caught_up"],
             }
         )
     return rows

@@ -57,6 +57,14 @@ class HotStuffSB(SBInstance):
         self._committed: Set[bytes] = set()
         self._delivered_sns: Set[SeqNr] = set()
         self._last_voted_view: ViewNr = -1
+        #: Highest view of any block received (≥ every peer's voted view in
+        #: benign runs, since nodes only vote on blocks they received).  A
+        #: round-change leader must propose *above* this: proposing at
+        #: ``high_qc.view + 1`` alone can collide with the crashed leader's
+        #: last (uncertified) block, which every node already voted for —
+        #: those proposals die on the ``last_voted_view`` check and the view
+        #: can never advance, wedging the segment.
+        self._highest_seen_view: ViewNr = -1
         #: Vote shares collected by the (current) leader, per block digest.
         self._vote_shares: Dict[bytes, Dict[NodeId, PartialSignature]] = {}
         self._qc_formed: Set[bytes] = set()
@@ -68,6 +76,8 @@ class HotStuffSB(SBInstance):
         self._proposing_active = context.is_leader
         self._awaiting_qc_digest: Optional[bytes] = None
         self._proposal_timer: Optional[Timer] = None
+        #: Whether the one-shot final-QC publication already went out.
+        self._final_qc_published = False
         self._stopped = False
         #: Statistics.
         self.rounds_changed = 0
@@ -128,7 +138,7 @@ class HotStuffSB(SBInstance):
             self._proposing_active = False
             return
         parent_digest = self._high_qc.block_digest
-        view = self._high_qc.view + 1
+        view = max(self._high_qc.view, self._highest_seen_view) + 1
         block = Block(
             view=view,
             round=self._round,
@@ -165,7 +175,13 @@ class HotStuffSB(SBInstance):
                 trailing_dummies += 1
             else:
                 break
-        if trailing_dummies < PIPELINE_FLUSH_BLOCKS:
+        if trailing_dummies < PIPELINE_FLUSH_BLOCKS or not self._all_delivered():
+            # Keep extending with dummies until the flush completes AND every
+            # sequence number has actually delivered.  A round-change leader
+            # can inherit a chain that already ends in three dummies from the
+            # crashed leader's flush whose final QCs never formed; without
+            # the delivery check it would declare the chain fully extended
+            # and the segment would wedge one QC short of committing.
             return None, NIL
         return None
 
@@ -190,6 +206,8 @@ class HotStuffSB(SBInstance):
             self._round = block.round
         digest = block.digest()
         self._blocks[digest] = block
+        if block.view > self._highest_seen_view:
+            self._highest_seen_view = block.view
         self._process_qc(block.justify)
         if not self._validate_block(src, block):
             return
@@ -304,8 +322,19 @@ class HotStuffSB(SBInstance):
                 self._delivered_sns.add(ancestor.sn)
                 value = ancestor.value if ancestor.value is not None else NIL
                 self.context.deliver(ancestor.sn, value)
-        if self._all_delivered() and self._round_timer is not None:
-            self._round_timer.cancel()
+        if self._all_delivered():
+            if self._round_timer is not None:
+                self._round_timer.cancel()
+            if self._round > 0 and not self._final_qc_published:
+                self._final_qc_published = True
+                # Round changes happened, so the QC pipeline was disrupted:
+                # followers of the silent pre-change leader can be one QC
+                # short of committing the tail, and we leave the pacemaker
+                # now (no more proposals will carry our QCs).  Publish the
+                # final high QC once so everyone can close the three-chain.
+                self.context.broadcast(
+                    NewRound(round=self._round, high_qc=self._high_qc)
+                )
 
     # ------------------------------------------------------------- pacemaker
     def _arm_round_timer(self) -> None:
@@ -328,11 +357,26 @@ class HotStuffSB(SBInstance):
         self._arm_round_timer()
 
     def _on_new_round(self, src: NodeId, message: NewRound) -> None:
+        # Learn the carried QC first, independent of round bookkeeping: a
+        # NewRound may be the only vehicle that brings a lagging node the
+        # final QC of a chain whose leader has gone silent.
+        self._process_qc(message.high_qc)
+        if self._all_delivered():
+            # We finished this segment and left the pacemaker (our round
+            # timer is cancelled, so we will never contribute to the
+            # sender's NewRound quorum).  The sender is lagging — typically
+            # one QC behind a leader that went silent after its own delivery
+            # completed.  Hand it our high QC: processing it lets the sender
+            # commit the tail through the three-chain rule and stop asking.
+            # Only reply when the sender is actually behind — two finished
+            # nodes must not echo at each other forever.
+            if src != self.context.node_id and message.high_qc.view < self._high_qc.view:
+                self.context.send(src, NewRound(round=message.round, high_qc=self._high_qc))
+            return
         if message.round < self._round:
             return
         votes = self._new_round_msgs.setdefault(message.round, {})
         votes[src] = message
-        self._process_qc(message.high_qc)
         if self.round_leader(message.round) != self.context.node_id:
             return
         if len(votes) >= self.context.strong_quorum and not self._proposing_active:

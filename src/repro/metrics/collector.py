@@ -68,6 +68,9 @@ class RunReport:
     throughput_timeline: List[Tuple[float, float]] = field(default_factory=list)
     #: Free-form counters (view changes, epochs, traffic...).
     extra: Dict[str, float] = field(default_factory=dict)
+    #: One record per node restart: WAL entries replayed, state-transfer
+    #: bytes, time-to-caught-up... (see ``Deployment._on_node_restart``).
+    recoveries: List[Dict[str, float]] = field(default_factory=list)
 
 
 class MetricsCollector:
@@ -84,6 +87,7 @@ class MetricsCollector:
         self._latencies: List[float] = []
         self._completion_timestamps: List[float] = []
         self.deliveries_observed = 0
+        self._recoveries: List[Dict[str, float]] = []
 
     # ------------------------------------------------------------ recording
     def record_submit(self, rid: RequestId, time: float) -> None:
@@ -105,6 +109,17 @@ class MetricsCollector:
         nodes.add(node_id)
         if len(nodes) >= self.completion_quorum:
             self._complete(rid, delivered.delivered_at)
+
+    def record_recovery(self, record: Dict[str, float]) -> None:
+        """Attach one node-restart recovery record to the run's report.
+
+        Keys are defined by the harness (``restarted_at``, ``downtime``,
+        ``time_to_caught_up``, ``wal_entries_replayed``,
+        ``state_transfer_bytes``, ...); the collector stores them verbatim
+        so scenarios can add protocol-specific figures without touching
+        this module.
+        """
+        self._recoveries.append(dict(record))
 
     def record_client_completion(
         self, client_id: int, request: Request, submitted_at: float, completed_at: float
@@ -153,4 +168,5 @@ class MetricsCollector:
             latency=LatencySummary.from_samples(self._latencies),
             throughput_timeline=self.throughput_timeline(measured),
             extra=dict(extra or {}),
+            recoveries=[dict(r) for r in self._recoveries],
         )

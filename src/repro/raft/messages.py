@@ -37,6 +37,13 @@ class AppendEntries:
         return 64 + sum(24 + e.payload_size() for e in self.entries)
 
 
+# Empty AppendEntries are pure heartbeats: small, periodic and latency-
+# tolerant, so they may share a wire frame with replies and votes on the
+# same link.  Entry-carrying AppendEntries stay unbatched — they are the
+# replication critical path and their latency is the commit latency.
+register_batchable(AppendEntries, predicate=lambda m: not m.entries)
+
+
 @register_batchable
 @dataclass(frozen=True)
 class AppendReply:

@@ -135,6 +135,10 @@ class MessageBatcher:
         self._size = size_fn
         #: Pending payloads per directed link, in first-send order.
         self._buffers: Dict[Tuple[int, int], List[object]] = {}
+        #: Running wire-size sum per link, maintained at enqueue time so the
+        #: flush loop never re-walks a buffer to size its frame (and lone
+        #: messages reuse the size instead of paying ``wire_size`` twice).
+        self._buffer_sizes: Dict[Tuple[int, int], int] = {}
         #: Whether the single per-tick flush callback is already scheduled.
         #: One event flushes *all* links at the tick boundary, so the batching
         #: layer adds at most one simulator event per flush interval.
@@ -143,15 +147,23 @@ class MessageBatcher:
 
     # -------------------------------------------------------------- enqueue
     def enqueue(self, src: int, dst: int, message: object) -> None:
-        """Buffer ``message`` for the (src, dst) link's next flush tick."""
+        """Buffer ``message`` for the (src, dst) link's next flush tick.
+
+        The payload's wire size is computed here, once, and folded into the
+        link's running sum — the flush tick then only reads precomputed
+        totals (see ``_buffer_sizes``).
+        """
         self.stats.payloads_enqueued += 1
         key = (src, dst)
         buffers = self._buffers
+        size = self._size(message)
         buffer = buffers.get(key)
         if buffer is not None:
             buffer.append(message)
+            self._buffer_sizes[key] += size
             return
         buffers[key] = [message]
+        self._buffer_sizes[key] = size
         if not self._flush_scheduled:
             self._flush_scheduled = True
             interval = self.flush_interval
@@ -176,18 +188,21 @@ class MessageBatcher:
         buffers = self._buffers
         if not buffers:
             return
+        sizes = self._buffer_sizes
         self._buffers = {}
+        self._buffer_sizes = {}
         stats = self.stats
         send = self._send
-        size_fn = self._size
-        for (src, dst), buffer in buffers.items():
+        for key, buffer in buffers.items():
+            src, dst = key
             if len(buffer) == 1:
-                # A lone message needs no envelope; it goes out as itself.
+                # A lone message needs no envelope; it goes out as itself,
+                # with the wire size already computed at enqueue time.
                 stats.singletons_flushed += 1
-                send(src, dst, buffer[0], None)
+                send(src, dst, buffer[0], sizes[key])
                 continue
             stats.batches_flushed += 1
-            size = BATCH_HEADER_BYTES + sum(size_fn(payload) for payload in buffer)
+            size = BATCH_HEADER_BYTES + sizes[key]
             send(src, dst, MessageBatchMsg(payloads=tuple(buffer), size=size), size)
 
     def flush_all(self) -> None:

@@ -11,9 +11,18 @@ Two kinds of faults matter for the paper's evaluation (Section 6.4):
   possible without getting suspected and proposes empty batches, harming
   latency and throughput without triggering the failure detector.
 
-Crash scheduling lives here (it is purely a network/timing concern);
-straggler behaviour is implemented inside the ISS node
-(:class:`repro.core.iss.ISSNode` honours a :class:`StragglerBehaviour`).
+A crash is no longer necessarily forever: :class:`RestartSpec` brings a
+crashed node back at a later virtual time.  The injector tears the old
+incarnation down (its timers and links died with the crash), reconnects
+the endpoint at the network layer, and delegates the actual rebuild to
+the harness through :attr:`FaultInjector.on_restart` — the deployment
+re-instantiates the node from its
+:class:`~repro.storage.node_storage.NodeStorage` via the recovery manager
+(see :mod:`repro.storage.recovery`).
+
+Crash/restart scheduling lives here (it is purely a network/timing
+concern); straggler behaviour is implemented inside the ISS node
+(:class:`repro.core.iss.ISSNode` honours a :class:`StragglerSpec`).
 """
 
 from __future__ import annotations
@@ -54,6 +63,20 @@ class CrashSpec:
 
 
 @dataclass(frozen=True)
+class RestartSpec:
+    """Bring a crashed node back at absolute virtual time ``time``.
+
+    The victim must have crashed (via a :class:`CrashSpec`) before
+    ``time``; restarting a node that never crashed is a no-op.  Recovery
+    itself — WAL replay, snapshot load, state transfer — is performed by
+    the harness through :attr:`FaultInjector.on_restart`.
+    """
+
+    node: NodeId
+    time: float
+
+
+@dataclass(frozen=True)
 class StragglerSpec:
     """Description of a Byzantine straggler.
 
@@ -82,10 +105,16 @@ class FaultInjector:
         self.network = network
         self._crash_specs: List[CrashSpec] = []
         self._crashed: List[NodeId] = []
+        self._restart_specs: List[RestartSpec] = []
+        #: ``(node, virtual time)`` of every restart performed so far.
+        self._restarted: List[tuple] = []
         self._epoch_start_watch: Dict[NodeId, List[CrashSpec]] = {}
         self._epoch_end_watch: Dict[NodeId, List[CrashSpec]] = {}
         #: Called right after a node is crashed (e.g. to stop its timers).
         self.on_crash: Optional[Callable[[NodeId], None]] = None
+        #: Called right after a node's endpoint is reconnected; the harness
+        #: rebuilds the node from storage here (recovery manager + restart).
+        self.on_restart: Optional[Callable[[NodeId], None]] = None
 
     # ------------------------------------------------------------- schedule
     def schedule(self, spec: CrashSpec) -> None:
@@ -100,6 +129,15 @@ class FaultInjector:
     def schedule_all(self, specs: Sequence[CrashSpec]) -> None:
         for spec in specs:
             self.schedule(spec)
+
+    def schedule_restart(self, spec: RestartSpec) -> None:
+        """Schedule a :class:`RestartSpec` (absolute virtual time)."""
+        self._restart_specs.append(spec)
+        self.sim.schedule_at(spec.time, lambda: self.restart_now(spec.node))
+
+    def schedule_restarts(self, specs: Sequence[RestartSpec]) -> None:
+        for spec in specs:
+            self.schedule_restart(spec)
 
     # ---------------------------------------------------------------- hooks
     def notify_epoch_start(self, node: NodeId, epoch: EpochNr) -> None:
@@ -127,5 +165,27 @@ class FaultInjector:
         if self.on_crash is not None:
             self.on_crash(node)
 
+    # -------------------------------------------------------------- restart
+    def restart_now(self, node: NodeId) -> None:
+        """Bring a crashed node back immediately.
+
+        Reconnects the network endpoint (the crashed incarnation's timers
+        were already cancelled by :meth:`crash_now` /
+        ``ISSNode.crash``) and hands control to :attr:`on_restart`, which
+        rebuilds the node from its durable storage.  Restarting a node
+        that is not crashed is a no-op.
+        """
+        if node not in self._crashed:
+            return
+        self._crashed.remove(node)
+        self.network.recover(node)
+        self._restarted.append((node, self.sim.now))
+        if self.on_restart is not None:
+            self.on_restart(node)
+
     def crashed_nodes(self) -> Sequence[NodeId]:
         return tuple(self._crashed)
+
+    def restarted_nodes(self) -> Sequence[tuple]:
+        """``(node, time)`` pairs of every restart performed so far."""
+        return tuple(self._restarted)

@@ -150,7 +150,16 @@ class Network:
         self._crashed.add(node)
 
     def recover(self, node: NodeId) -> None:
+        """Reconnect a crashed endpoint (the restart path).
+
+        The replacement node re-registers its handler itself; this clears
+        the crash flag and resets the endpoint's NIC — a rebooted machine
+        comes back with an empty transmit queue, not the backlog its
+        previous incarnation had accumulated.
+        """
         self._crashed.discard(node)
+        if self._nic_free_at.get(node, 0.0) > self.sim.now:
+            self._nic_free_at[node] = self.sim.now
 
     def is_crashed(self, node: NodeId) -> bool:
         return node in self._crashed

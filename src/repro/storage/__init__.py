@@ -1,0 +1,49 @@
+"""Durable storage and crash recovery for ISS nodes.
+
+The paper's checkpointing (Section 3.4) and state transfer (Section 3.5)
+let *lagging* nodes catch up; this package makes them load-bearing for
+*crashed* nodes too.  Every node can own a :class:`NodeStorage` holding
+
+* a :class:`WriteAheadLog` of protocol-critical durable state — committed
+  log entries, stable checkpoint certificates and epoch starts — appended
+  through narrow ``record_*`` hooks called from the ISS core, and
+* a :class:`SnapshotStore` that compacts the WAL at every stable
+  checkpoint: entries at or below the checkpoint move into a single
+  :class:`Snapshot` anchored by the checkpoint certificate, exactly the
+  truncate-below-checkpoint garbage collection Section 3.4 prescribes.
+
+:class:`RecoveryManager` reconstructs a fresh node from that storage after
+a crash: apply the snapshot, replay the WAL above it, fast-forward the
+epoch bookkeeping, re-deliver the restored prefix to the application, and
+hand the node back to the harness to fetch anything ordered while it was
+down through the existing state-transfer protocol.
+
+Everything is backed by plain in-memory structures (the simulator has no
+disks), but the write/compact/replay discipline mirrors a real WAL +
+snapshot store, so the recovery path exercises the same protocol logic a
+production deployment would.
+"""
+
+from .node_storage import NodeStorage
+from .recovery import RecoveryInfo, RecoveryManager
+from .snapshot import Snapshot, SnapshotStore
+from .wal import (
+    RECORD_CHECKPOINT,
+    RECORD_COMMIT,
+    RECORD_EPOCH_START,
+    WalRecord,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "NodeStorage",
+    "RecoveryInfo",
+    "RecoveryManager",
+    "Snapshot",
+    "SnapshotStore",
+    "WalRecord",
+    "WriteAheadLog",
+    "RECORD_CHECKPOINT",
+    "RECORD_COMMIT",
+    "RECORD_EPOCH_START",
+]

@@ -1,0 +1,120 @@
+"""Rebuilding an ISS node from its durable storage after a crash.
+
+Recovery has three phases, mirroring production SMR restart procedures:
+
+1. **Snapshot apply** — the latest checkpoint-anchored snapshot is replayed
+   into the fresh node's log, delivered sets and client watermarks.
+2. **WAL replay** — commit records above the snapshot are re-applied and
+   stable checkpoint certificates are restored into the node's checkpoint
+   protocol (so completed epochs are not re-announced and their SB
+   instances are never re-opened).
+3. **Fast-forward** — epoch bookkeeping (leader-policy failure history,
+   watermark windows, counters) is advanced through every epoch the
+   restored log completes, contiguous delivery replays the restored prefix
+   to the application, and the epoch to resume at (the first incomplete
+   one) is computed.
+
+What storage cannot provide — entries ordered while the node was down —
+is fetched afterwards through the existing state-transfer protocol: the
+harness starts the node at the resume epoch and calls
+``begin_recovery_catchup()``, which probes peers for everything they can
+prove stable (see :mod:`repro.core.state_transfer`).
+
+Determinism: recovery is a pure function of the storage contents and the
+node's configuration.  Same seed ⇒ same crash ⇒ same WAL ⇒ same recovery,
+which the restart golden trace pins (``tests/data/golden_trace_recovery.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .node_storage import NodeStorage
+from .wal import RECORD_CHECKPOINT, RECORD_COMMIT
+
+
+@dataclass
+class RecoveryInfo:
+    """What recovery did, for metrics and the restart report."""
+
+    node_id: int
+    #: First epoch the restored log does *not* complete — where to resume.
+    resume_epoch: int
+    #: Entries replayed from the snapshot / from the WAL tail.
+    snapshot_entries: int = 0
+    wal_entries_replayed: int = 0
+    #: Stable checkpoint certificates restored from storage.
+    certificates_restored: int = 0
+    #: Requests re-delivered to the application during replay.
+    requests_redelivered: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat, JSON-friendly view (used by reports and golden traces)."""
+        return {
+            "node": float(self.node_id),
+            "resume_epoch": float(self.resume_epoch),
+            "snapshot_entries": float(self.snapshot_entries),
+            "wal_entries_replayed": float(self.wal_entries_replayed),
+            "certificates_restored": float(self.certificates_restored),
+            "requests_redelivered": float(self.requests_redelivered),
+        }
+
+
+class RecoveryManager:
+    """Reconstructs a freshly built node from one :class:`NodeStorage`."""
+
+    def __init__(self, storage: NodeStorage):
+        self.storage = storage
+
+    def recover(self, node, now: float) -> RecoveryInfo:
+        """Restore ``node`` (a fresh, not-yet-started ISS node) from storage.
+
+        Returns the :class:`RecoveryInfo`; the caller is expected to then
+        ``node.start_at(info.resume_epoch)`` and
+        ``node.begin_recovery_catchup()``.
+        """
+        info = RecoveryInfo(node_id=node.node_id, resume_epoch=0)
+
+        # Phase 1: snapshot apply.
+        snapshot = self.storage.latest_snapshot()
+        if snapshot is not None:
+            for sn, entry, epoch in snapshot.entries:
+                node.restore_entry(sn, entry, epoch)
+            info.snapshot_entries = len(snapshot.entries)
+            if node.checkpoints.restore_stable(snapshot.certificate):
+                info.certificates_restored += 1
+
+        # Phase 2: WAL replay (commits and certificates, in append order).
+        for record in self.storage.wal.records():
+            if record.kind == RECORD_COMMIT:
+                node.restore_entry(record.sn, record.entry, record.epoch)
+                info.wal_entries_replayed += 1
+            elif record.kind == RECORD_CHECKPOINT:
+                if node.checkpoints.restore_stable(record.certificate):
+                    info.certificates_restored += 1
+
+        # Phase 3: fast-forward epoch bookkeeping over the restored prefix.
+        resume = 0
+        while node.manager.epoch_complete(resume, node.log):
+            node.manager.finish_epoch(resume, node.log)
+            # The pre-crash incarnation already broadcast its CHECKPOINT for
+            # this epoch; announcing again would only add stale wire noise.
+            node.checkpoints.mark_announced(resume)
+            node.watermarks.advance_epoch()
+            node.epochs_completed += 1
+            resume += 1
+        info.resume_epoch = resume
+
+        # Replay contiguous delivery so the application (and the metrics
+        # listeners) observe the restored prefix in the original order.
+        # Client responses are *not* re-sent: they went out before the
+        # crash, and clients treat replayed re-acknowledgements as
+        # duplicates anyway.
+        delivered = node.log.advance_delivery(now)
+        info.requests_redelivered = len(delivered)
+        on_deliver = node.on_deliver
+        if on_deliver is not None:
+            for item in delivered:
+                on_deliver(node.node_id, item)
+        return info

@@ -1,0 +1,77 @@
+"""Checkpoint-anchored snapshots of the replicated log.
+
+A :class:`Snapshot` is the durable image of one node's log prefix at a
+stable checkpoint: every entry up to the checkpoint's last sequence number,
+plus the ``2f+1``-signed :class:`~repro.core.types.CheckpointCertificate`
+that proves the prefix is the agreed one.  Because ISS's application state
+*is* the delivered log, replaying the snapshot entries in order
+reconstructs the full node state (delivered requests, watermarks,
+per-request sequence numbers) bit for bit.
+
+The :class:`SnapshotStore` keeps only the latest snapshot — an older one
+is a strict prefix of a newer one, so holding both would duplicate state
+without adding recoverability (the same argument that lets Section 3.4
+garbage-collect everything below a stable checkpoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.types import CheckpointCertificate, EpochNr, LogEntry, SeqNr
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """The log prefix ``[0, last_sn]`` anchored by a stable checkpoint.
+
+    ``entries`` holds one ``(sn, entry, epoch)`` triple per position, in
+    sequence-number order and with no gaps — the store refuses to install
+    anything else, so a loaded snapshot can always be replayed blindly.
+    """
+
+    epoch: EpochNr
+    last_sn: SeqNr
+    certificate: CheckpointCertificate
+    entries: Tuple[Tuple[SeqNr, LogEntry, EpochNr], ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class SnapshotStore:
+    """Holds the latest snapshot of one node (older ones are subsumed)."""
+
+    def __init__(self) -> None:
+        self._latest: Optional[Snapshot] = None
+        #: Snapshots installed over the store's lifetime (for metrics).
+        self.installed_total = 0
+
+    def install(self, snapshot: Snapshot) -> bool:
+        """Install ``snapshot`` unless it is older than the current one.
+
+        Returns True when the snapshot was accepted.  The entry list must
+        cover ``[0, last_sn]`` contiguously; installing a snapshot with
+        gaps would make recovery silently lossy, so it raises instead.
+        """
+        if len(snapshot.entries) != snapshot.last_sn + 1 or any(
+            sn != position
+            for position, (sn, _entry, _epoch) in enumerate(snapshot.entries)
+        ):
+            raise ValueError(
+                f"snapshot entries must cover [0, {snapshot.last_sn}] contiguously"
+            )
+        if self._latest is not None and snapshot.last_sn <= self._latest.last_sn:
+            return False
+        self._latest = snapshot
+        self.installed_total += 1
+        return True
+
+    def latest(self) -> Optional[Snapshot]:
+        """The most recent snapshot, or ``None`` before the first one."""
+        return self._latest
+
+    def entry_count(self) -> int:
+        """Number of log entries held by the latest snapshot."""
+        return len(self._latest.entries) if self._latest is not None else 0

@@ -80,6 +80,23 @@ class TestRegistry:
             CheckpointMsg(epoch=0, last_sn=7, log_root=DIGEST, sender=1, signature=b"s")
         )
 
+    def test_raft_heartbeats_batchable_but_replication_is_not(self):
+        from repro.core.types import NIL
+        from repro.raft.messages import RaftEntry
+
+        heartbeat = AppendEntries(
+            term=1, prev_index=0, prev_term=0, entries=(), leader_commit=0
+        )
+        replicating = AppendEntries(
+            term=1,
+            prev_index=0,
+            prev_term=0,
+            entries=(RaftEntry(term=1, sn=0, value=NIL),),
+            leader_commit=0,
+        )
+        assert is_batchable(heartbeat)
+        assert not is_batchable(replicating)
+
     def test_client_messages_are_batchable(self):
         assert is_batchable(ClientRequestMsg(request=make_request()))
         assert is_batchable(
@@ -90,9 +107,6 @@ class TestRegistry:
         batch = make_batch(make_request())
         assert not is_batchable(
             PrePrepare(view=0, sn=0, value=batch, digest=batch.digest())
-        )
-        assert not is_batchable(
-            AppendEntries(term=1, prev_index=0, prev_term=0, entries=(), leader_commit=0)
         )
         assert not is_batchable(RequestVote(term=1, last_log_index=0, last_log_term=0))
         assert not is_batchable(BucketAssignmentMsg(epoch=0, assignment=()))

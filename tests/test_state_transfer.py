@@ -148,3 +148,170 @@ class TestStateTransfer:
         response = harness.transfers[0].build_responses(request, harness.logs[0])[0]
         # Node 0 already holds the epoch: handling its own response is a no-op success.
         assert harness.transfers[0].handle_response(response, harness.logs[0])
+
+
+class TestStateTransferEdgeCases:
+    """Adversarial and partial-failure paths of the transfer protocol."""
+
+    def test_forged_signature_certificate_rejected(self):
+        """A certificate whose signatures do not verify must be discarded."""
+        from dataclasses import replace
+
+        harness = Harness()
+        harness.fill_epoch(0)
+        harness.make_stable(0)
+        request = StateRequest(first_epoch=0, last_epoch=0)
+        response = harness.transfers[0].build_responses(request, harness.logs[0])[0]
+        signatures = response.certificate.signatures
+        forged_cert = replace(
+            response.certificate,
+            signatures=((signatures[0][0], b"forged"),) + signatures[1:],
+        )
+        forged = StateResponse(epoch=0, entries=response.entries, certificate=forged_cert)
+        harness.transfers[1].request_missing(0, 0, peers=[0])
+        assert not harness.transfers[1].handle_response(forged, harness.logs[1])
+        assert not harness.logs[1].has_entry(0)
+
+    def test_duplicate_signer_padding_rejected(self):
+        """2f+1 signature *slots* filled by repeating one signer is no quorum."""
+        from dataclasses import replace
+
+        harness = Harness()
+        harness.fill_epoch(0)
+        harness.make_stable(0)
+        request = StateRequest(first_epoch=0, last_epoch=0)
+        response = harness.transfers[0].build_responses(request, harness.logs[0])[0]
+        node, signature = response.certificate.signatures[0]
+        padded_cert = replace(
+            response.certificate,
+            signatures=tuple((node, signature) for _ in response.certificate.signatures),
+        )
+        padded = StateResponse(epoch=0, entries=response.entries, certificate=padded_cert)
+        harness.transfers[1].request_missing(0, 0, peers=[0])
+        assert not harness.transfers[1].handle_response(padded, harness.logs[1])
+
+    def test_certificate_from_wrong_epoch_rejected(self):
+        """A valid certificate attached to another epoch's entries fails the
+        Merkle-root binding even though its signatures verify."""
+        harness = Harness()
+        harness.fill_epoch(0, epoch=0)
+        harness.fill_epoch(0, epoch=1)
+        harness.make_stable(0)
+        harness.make_stable(1)
+        entries_0 = harness.transfers[0].build_responses(
+            StateRequest(first_epoch=0, last_epoch=0), harness.logs[0]
+        )[0].entries
+        cert_1 = harness.checkpoints[0].stable_checkpoint(1)
+        mismatched = StateResponse(epoch=0, entries=entries_0, certificate=cert_1)
+        harness.transfers[1].request_missing(0, 0, peers=[0])
+        assert not harness.transfers[1].handle_response(mismatched, harness.logs[1])
+        assert not harness.logs[1].has_entry(0)
+
+    def test_partial_range_response_covers_only_stable_epochs(self):
+        """A responder answers the stable subset of a range and stays silent
+        about the rest — the requester keeps those epochs in flight."""
+        harness = Harness()
+        harness.fill_epoch(0, epoch=0)
+        harness.fill_epoch(0, epoch=1)
+        harness.fill_epoch(0, epoch=2)
+        harness.make_stable(0)  # epochs 1 and 2 complete but not stable
+        request = StateRequest(first_epoch=0, last_epoch=2)
+        responses = harness.transfers[0].build_responses(request, harness.logs[0])
+        assert [r.epoch for r in responses] == [0]
+        harness.transfers[1].request_missing(0, 2, peers=[0])
+        assert harness.transfers[1].handle_response(responses[0], harness.logs[1])
+        assert harness.logs[1].is_complete(range(0, 4))
+        assert not harness.logs[1].has_entry(4)
+        # Epochs 1-2 stay marked in flight (awaiting the silent responder), so
+        # an overlapping re-request skips them; only epoch 0 — completed and
+        # no longer in flight — is re-covered, and answering it again is an
+        # idempotent no-op.  ``force=True`` is the recovery path's way past
+        # the in-flight markers when the responder is presumed dead.
+        assert harness.transfers[1]._in_flight == {1, 2}
+        harness.sent.clear()
+        harness.transfers[1].request_missing(0, 2, peers=[0])
+        _, _, follow_up = harness.sent[-1]
+        assert (follow_up.first_epoch, follow_up.last_epoch) == (0, 0)
+        harness.sent.clear()
+        harness.transfers[1].request_missing(0, 2, peers=[0], force=True)
+        _, _, forced = harness.sent[-1]
+        assert (forced.first_epoch, forced.last_epoch) == (0, 2)
+
+    def test_overlapping_requests_deduplicate_in_flight_epochs(self):
+        harness = Harness()
+        harness.transfers[1].request_missing(0, 1, peers=[0])
+        harness.sent.clear()
+        harness.transfers[1].request_missing(1, 2, peers=[0])
+        _, _, request = harness.sent[-1]
+        # Epoch 1 is already in flight; only epoch 2 is re-requested.
+        assert (request.first_epoch, request.last_epoch) == (2, 2)
+
+    def test_force_rerequests_in_flight_epochs(self):
+        """The recovery path re-asks even in-flight epochs (the original
+        responder may have crashed mid-transfer)."""
+        harness = Harness()
+        harness.transfers[1].request_missing(0, 0, peers=[0])
+        harness.sent.clear()
+        harness.transfers[1].request_missing(0, 0, peers=[0])
+        assert not harness.sent  # deduplicated
+        harness.transfers[1].request_missing(0, 0, peers=[0], force=True)
+        assert harness.sent  # forced past the in-flight marker
+
+    def test_open_ended_probe_substitutes_latest_stable(self):
+        from repro.core.state_transfer import LATEST_STABLE
+
+        harness = Harness()
+        harness.fill_epoch(0, epoch=0)
+        harness.fill_epoch(0, epoch=1)
+        harness.make_stable(0)
+        harness.make_stable(1)
+        probe = StateRequest(first_epoch=0, last_epoch=LATEST_STABLE)
+        responses = harness.transfers[0].build_responses(probe, harness.logs[0])
+        assert [r.epoch for r in responses] == [0, 1]
+
+    def test_open_ended_probe_with_nothing_stable_is_silent(self):
+        from repro.core.state_transfer import LATEST_STABLE
+
+        harness = Harness()
+        harness.fill_epoch(0)  # complete locally but no stable checkpoint
+        probe = StateRequest(first_epoch=0, last_epoch=LATEST_STABLE)
+        assert harness.transfers[0].build_responses(probe, harness.logs[0]) == []
+
+    def test_responder_crash_mid_transfer_covered_by_redundant_peer(self):
+        """Peer A dies after shipping epoch 0 of [0, 1]; peer B's responses
+        complete the transfer without any special-casing."""
+        harness = Harness()
+        harness.fill_epoch(0, epoch=0)
+        harness.fill_epoch(0, epoch=1)
+        harness.fill_epoch(2, epoch=0)
+        harness.fill_epoch(2, epoch=1)
+        harness.make_stable(0)
+        harness.make_stable(1)
+        request = StateRequest(first_epoch=0, last_epoch=1)
+        from_a = harness.transfers[0].build_responses(request, harness.logs[0])
+        from_b = harness.transfers[2].build_responses(request, harness.logs[2])
+        harness.transfers[1].request_missing(0, 1, peers=[0, 2])
+        # Peer A crashes mid-transfer: only its epoch-0 response arrives.
+        assert harness.transfers[1].handle_response(from_a[0], harness.logs[1])
+        assert not harness.logs[1].has_entry(4)
+        # Peer B's full response set fills the rest; the duplicate epoch 0 is
+        # an idempotent no-op.
+        for response in from_b:
+            assert harness.transfers[1].handle_response(response, harness.logs[1])
+        assert harness.logs[1].is_complete(range(0, 8))
+        assert harness.transfers[1].entries_applied == 8
+
+    def test_transfer_counters_track_bytes_and_probes(self):
+        harness = Harness()
+        harness.fill_epoch(0)
+        harness.make_stable(0)
+        transfer = harness.transfers[1]
+        transfer.request_latest(0, peers=[0])
+        assert transfer.probes_sent == 1
+        response = harness.transfers[0].build_responses(
+            StateRequest(first_epoch=0, last_epoch=0), harness.logs[0]
+        )[0]
+        transfer.request_missing(0, 0, peers=[0])
+        assert transfer.handle_response(response, harness.logs[1])
+        assert transfer.bytes_received == response.wire_size()
+        assert transfer.entries_applied == harness.config.epoch_length
