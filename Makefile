@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check perf-smoke recovery-smoke bench
+.PHONY: test docs-check perf-smoke recovery-smoke byzantine-smoke bench
 
 # Tier-1 test suite (the CI gate; see ROADMAP.md).
 test:
@@ -24,6 +24,12 @@ perf-smoke:
 # against tests/data/golden_trace_recovery.json (see repro.recovery_smoke).
 recovery-smoke:
 	$(PYTHON) -m repro.recovery_smoke
+
+# Seeded equivocation scenario: correct nodes must stay prefix-identical,
+# detect the attack, evict the adversary, and replay deterministically
+# against tests/data/golden_trace_byzantine.json (see repro.byzantine_smoke).
+byzantine-smoke:
+	$(PYTHON) -m repro.byzantine_smoke
 
 # Hot-path microbenchmarks (diagnose what perf-smoke flags).
 bench:

@@ -1,0 +1,73 @@
+"""Recovery-time figure — catch-up cost as a function of downtime.
+
+Wraps :func:`repro.harness.scenarios.recovery_time_over_downtime` (PR 3's
+crash→restart→WAL-replay→state-transfer pipeline) the same way the other
+figure benchmarks wrap their scenarios, and — like the perf smoke writes
+``BENCH_hotpath.json`` — emits the rows to ``BENCH_recovery_time.json`` in
+the repository root so the recovery-cost trajectory is tracked across PRs.
+
+Expected shape: the longer a node stays down, the more epochs are ordered
+without it, so the bytes it must state-transfer on restart grow with the
+downtime while it still always catches up and stays log-identical to its
+never-crashed peers.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness import scenarios
+from repro.metrics.report import format_table, print_banner
+
+from conftest import run_scenario, scaled_duration
+
+#: Where the figure's rows are persisted (repository root, like the other
+#: BENCH_*.json artefacts).
+OUTPUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_recovery_time.json"
+
+
+def test_recovery_time_over_downtime(benchmark):
+    downtimes = tuple(scaled_duration(d) for d in (2.5, 5.0, 7.5))
+
+    rows = run_scenario(
+        benchmark,
+        lambda: scenarios.recovery_time_over_downtime(
+            num_nodes=4,
+            rate=400.0,
+            downtimes=downtimes,
+            crash_time=3.0,
+            tail_time=15.0,
+        ),
+        "recovery-time",
+    )
+    print_banner("Recovery time over downtime (ISS-PBFT, 4 nodes)")
+    print(
+        format_table(
+            [
+                "downtime (s)", "time to caught up (s)", "WAL replayed",
+                "snapshot entries", "transfer bytes", "transfer entries", "safe",
+            ],
+            [
+                [
+                    f"{r['downtime']:.1f}", f"{r['time_to_caught_up']:.2f}",
+                    int(r["wal_entries_replayed"]), int(r["snapshot_entries"]),
+                    int(r["state_transfer_bytes"]), int(r["state_transfer_entries"]),
+                    r["prefix_matches"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+
+    for r in rows:
+        # Every restart must catch up and agree with its peers.
+        assert r["caught_up"], r
+        assert r["prefix_matches"], r
+    # More downtime ⇒ at least as much state to transfer on the way back.
+    transfer = [r["state_transfer_entries"] for r in rows]
+    assert transfer == sorted(transfer)
+    assert transfer[-1] > 0
+
+    OUTPUT_PATH.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+    benchmark.extra_info["rows"] = rows

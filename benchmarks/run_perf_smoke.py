@@ -9,11 +9,15 @@ Runs, in order:
 * ``python -m repro.recovery_smoke`` — seeded crash→restart scenario;
   the restarted node must catch up, stay log-identical to its peers, and
   replay deterministically against the recovery golden trace,
-* ``python -m repro.doccheck`` — docstring audit + README code-block
-  execution.
+* ``python -m repro.byzantine_smoke`` — seeded equivocation scenario;
+  correct nodes must stay prefix-identical, detect the attack, evict the
+  adversary, and replay deterministically against the Byzantine golden
+  trace,
+* ``python -m repro.doccheck`` — docstring audit + README and
+  docs/SCENARIOS.md code-block execution.
 
 The exit status is non-zero when *any* gate fails, so CI catches perf,
-recovery and documentation regressions in one step.
+recovery, adversary-robustness and documentation regressions in one step.
 
 Usage::
 
@@ -25,6 +29,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.byzantine_smoke import main as byzantine_main  # noqa: E402
 from repro.doccheck import main as doccheck_main  # noqa: E402
 from repro.perf_smoke import main as perf_main  # noqa: E402
 from repro.recovery_smoke import main as recovery_main  # noqa: E402
@@ -32,5 +37,6 @@ from repro.recovery_smoke import main as recovery_main  # noqa: E402
 if __name__ == "__main__":
     perf_status = perf_main()
     recovery_status = recovery_main([])
+    byzantine_status = byzantine_main([])
     doc_status = doccheck_main([])
-    sys.exit(perf_status or recovery_status or doc_status)
+    sys.exit(perf_status or recovery_status or byzantine_status or doc_status)

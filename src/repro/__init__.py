@@ -35,6 +35,16 @@ from .core.iss import ISSNode
 from .core.client import Client
 from .harness.runner import Deployment, DeploymentResult, run_experiment, find_peak_throughput
 from .metrics.collector import RunReport, LatencySummary, MetricsCollector
+from .sim.faults import (
+    CrashSpec,
+    RestartSpec,
+    StragglerSpec,
+    ByzantineSpec,
+    BYZ_EQUIVOCATE,
+    BYZ_CENSOR,
+    BYZ_INVALID_VOTES,
+    BYZ_REPLAY,
+)
 
 __version__ = "1.0.0"
 
@@ -64,5 +74,13 @@ __all__ = [
     "RunReport",
     "LatencySummary",
     "MetricsCollector",
+    "CrashSpec",
+    "RestartSpec",
+    "StragglerSpec",
+    "ByzantineSpec",
+    "BYZ_EQUIVOCATE",
+    "BYZ_CENSOR",
+    "BYZ_INVALID_VOTES",
+    "BYZ_REPLAY",
     "__version__",
 ]

@@ -80,6 +80,9 @@ class CheckpointProtocol:
         self._received: Dict[Tuple[EpochNr, SeqNr, bytes], Dict[NodeId, bytes]] = {}
         self._stable: Dict[EpochNr, CheckpointCertificate] = {}
         self._announced_local: set = set()
+        #: CHECKPOINT messages rejected for a bad or mis-attributed signature
+        #: (a Byzantine voter forging votes lands here; see RunReport).
+        self.invalid_signatures_rejected = 0
 
     # ----------------------------------------------------------- local side
     def local_epoch_complete(self, epoch: EpochNr, log: Log) -> None:
@@ -104,9 +107,11 @@ class CheckpointProtocol:
         if not isinstance(message, CheckpointMsg):
             return
         if message.sender != src:
+            self.invalid_signatures_rejected += 1
             return
         payload = checkpoint_signing_payload(message.epoch, message.last_sn, message.log_root)
         if not self.key_store.verify(message.sender, payload, message.signature):
+            self.invalid_signatures_rejected += 1
             return
         self._record(message)
 

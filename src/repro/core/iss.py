@@ -33,7 +33,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..crypto.signatures import KeyStore
 from ..fd.detector import FailureDetector, HeartbeatMsg
-from ..sim.faults import FaultInjector, StragglerSpec
+from ..sim.faults import BYZ_CENSOR, ByzantineSpec, FaultInjector, StragglerSpec
 from ..sim.network import Network
 from ..sim.simulator import Simulator, Timer
 from ..storage.node_storage import NodeStorage
@@ -86,10 +86,12 @@ class ISSNode:
         on_deliver: Optional[DeliveryListener] = None,
         fault_injector: Optional[FaultInjector] = None,
         straggler: Optional[StragglerSpec] = None,
+        byzantine: Optional[ByzantineSpec] = None,
         policy: Optional[LeaderSelectionPolicy] = None,
         layout: str = LAYOUT_ROUND_ROBIN,
         sb_factory: Optional[SBFactory] = None,
         storage: Optional[NodeStorage] = None,
+        probe_stagger: Optional[float] = None,
     ):
         self.node_id = node_id
         self.config = config
@@ -100,6 +102,9 @@ class ISSNode:
         self.on_deliver = on_deliver
         self.fault_injector = fault_injector
         self.straggler = straggler if straggler and straggler.node == node_id else None
+        #: Byzantine behaviour of *this* node (censorship is honoured here in
+        #: ``_cut_batch``; send-level behaviours live in the network hook).
+        self.byzantine = byzantine if byzantine and byzantine.node == node_id else None
         self.layout = layout
         #: Durable storage (WAL + snapshots); ``None`` disables persistence.
         self.storage = storage
@@ -155,6 +160,8 @@ class ISSNode:
             checkpoints=self.checkpoints,
             send_fn=self._send_to_node,
             apply_entry_fn=self._apply_transferred_entry,
+            schedule_fn=sim.schedule,
+            probe_stagger=probe_stagger,
         )
 
         #: Instance messages buffered for epochs we have not started yet.
@@ -164,6 +171,13 @@ class ISSNode:
         self.batches_committed = 0
         self.nil_committed = 0
         self.epochs_completed = 0
+        #: Misbehaviour diagnostics (reported by SB instances; see
+        #: ``SBContext.report_misbehaviour``).  Eviction of Byzantine
+        #: leaders stays log-driven (⊥ entries → FailureHistory), so these
+        #: counters never influence leaderset computation.
+        self.equivocations_detected = 0
+        #: Forged protocol votes rejected by this node's SB instances.
+        self.invalid_votes_rejected = 0
 
         network.register(node_id, self.on_message)
 
@@ -183,6 +197,7 @@ class ISSNode:
         """Stop all local activity (used by the fault injector)."""
         self.crashed = True
         self.orderer.stop_all()
+        self.state_transfer.stop()
         if self.failure_detector is not None:
             self.failure_detector.stop()
 
@@ -345,7 +360,20 @@ class ISSNode:
                 self.straggler.propose_empty if is_straggler_leader else False
             ),
             key_store=self.key_store,
+            report_misbehaviour_fn=self._note_misbehaviour,
         )
+
+    def _note_misbehaviour(self, kind: str, offender: NodeId) -> None:
+        """Count provable misbehaviour reported by an SB instance.
+
+        Diagnostics only (surfaced per node through ``RunReport.byzantine``):
+        leaderset eviction is driven exclusively by the log-visible ``⊥``
+        entries so all correct nodes keep computing identical leadersets.
+        """
+        if kind == "equivocation":
+            self.equivocations_detected += 1
+        elif kind == "invalid-signature":
+            self.invalid_votes_rejected += 1
 
     def _announce_buckets_to_clients(self, epoch: EpochNr, segments: Sequence[SegmentDescriptor]) -> None:
         if not self.client_ids:
@@ -360,11 +388,27 @@ class ISSNode:
 
     # =============================================================== proposals
     def _cut_batch(self, segment: SegmentDescriptor, sn: SeqNr) -> Batch:
-        """Cut a batch for one of our sequence numbers (Algorithm 2, propose)."""
+        """Cut a batch for one of our sequence numbers (Algorithm 2, propose).
+
+        A censoring Byzantine leader (``ByzantineSpec(behaviour="censor")``)
+        silently skips its targeted buckets: the requests stay queued at
+        every correct node and are proposed as soon as bucket rotation
+        (Section 3.2) hands the bucket to an honest leader — the exact
+        liveness argument the censorship scenarios measure.
+        """
         if self.straggler is not None and self.straggler.propose_empty:
             batch = Batch.of(())
         else:
-            requests = self.buckets.cut_batch(list(segment.buckets), self.config.max_batch_size)
+            buckets = list(segment.buckets)
+            byzantine = self.byzantine
+            if (
+                byzantine is not None
+                and byzantine.behaviour == BYZ_CENSOR
+                and self.sim.now >= byzantine.start_time
+            ):
+                censored = set(byzantine.buckets)
+                buckets = [b for b in buckets if b not in censored]
+            requests = self.buckets.cut_batch(buckets, self.config.max_batch_size)
             batch = Batch.of(requests)
         self._proposed[sn] = batch
         return batch
@@ -540,3 +584,13 @@ class ISSNode:
 
     def pending_requests(self) -> int:
         return self.buckets.total_pending()
+
+    def invalid_signatures_rejected(self) -> int:
+        """Total forged signatures this node rejected, across every layer:
+        client request signatures (validator), checkpoint votes, and SB
+        protocol votes (e.g. HotStuff partial signatures)."""
+        return (
+            self.validator.stats.bad_signature
+            + self.checkpoints.invalid_signatures_rejected
+            + self.invalid_votes_rejected
+        )

@@ -60,6 +60,7 @@ class SBContext:
         proposal_delay: float = 0.0,
         force_empty_proposals: bool = False,
         key_store: Optional[object] = None,
+        report_misbehaviour_fn: Optional[Callable[[str, NodeId], None]] = None,
     ):
         self.node_id = node_id
         self.config = config
@@ -84,6 +85,7 @@ class SBContext:
         #: Deployment key store (used by HotStuff for threshold signatures and
         #: by any implementation that wants to sign protocol messages).
         self.key_store = key_store
+        self._report_misbehaviour = report_misbehaviour_fn
 
     # ------------------------------------------------------------ identity
     @property
@@ -164,6 +166,21 @@ class SBContext:
     def validate_batch(self, batch: Batch) -> bool:
         """Follower-side proposal check (Section 4.2, acceptance rule (a)-(c))."""
         return self._validate_batch(batch)
+
+    # -------------------------------------------------------- misbehaviour
+    def report_misbehaviour(self, kind: str, node: NodeId) -> None:
+        """Report *provable* misbehaviour of ``node`` to the host.
+
+        ``kind`` is ``"equivocation"`` (evidence that the designated sender
+        issued conflicting proposals, e.g. f+1 prepare votes for a digest
+        other than the locally accepted one) or ``"invalid-signature"`` (a
+        vote whose signature failed verification).  The host only counts
+        these in its diagnostics (``RunReport``); leaderset eviction stays
+        driven by the log-visible ``⊥`` entries so every correct node keeps
+        computing identical leadersets (Section 3.4).
+        """
+        if self._report_misbehaviour is not None:
+            self._report_misbehaviour(kind, node)
 
     # ------------------------------------------------------------ delivery
     def deliver(self, sn: SeqNr, value: LogEntry) -> None:

@@ -13,10 +13,23 @@ including epochs ordered entirely while the node was down.  Verified
 responses additionally restore the epoch's checkpoint certificate into the
 local checkpoint protocol, so transferred epochs are garbage collected and
 compacted exactly like locally completed ones.
+
+Catch-up requests are *staggered*: asking every peer at once would make
+each of them ship the full stable prefix (~(n-1)× the useful bytes, the
+ROADMAP follow-up from PR 3).  Instead a request goes to one peer
+immediately and escalates to the next peer every
+``REPRO_PROBE_STAGGER`` virtual seconds.  Escalations are never
+cancelled — they are *narrowed* at fire time to what is still missing
+(open-ended probes re-base past the local stable frontier, ranged
+requests shrink to the outstanding contiguous runs) and no-op when
+nothing is.  Every peer is therefore still asked eventually — a crashed
+or lagging early responder costs stagger intervals of delay, never
+completeness — while the common case transfers each epoch exactly once.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -31,6 +44,31 @@ from .types import Batch, CheckpointCertificate, EpochNr, LogEntry, NIL, NodeId,
 #: Used by the crash-recovery probe, which cannot know how far ahead the
 #: live nodes have ordered while the requester was down.
 LATEST_STABLE: EpochNr = -1
+
+#: Default spacing (virtual seconds) between probe escalations.  Sized so a
+#: multi-epoch response has time to clear the responder's scaled-down NIC
+#: before the next peer is bothered (an epoch of full batches is ~2.4 MB ≈
+#: 1 s of serialisation at the benchmark bandwidth).
+DEFAULT_PROBE_STAGGER = 2.0
+
+
+def probe_stagger_interval() -> float:
+    """Probe-escalation spacing (env var ``REPRO_PROBE_STAGGER``).
+
+    ``0`` disables staggering entirely — every peer is probed at once, the
+    pre-trim behaviour.  Negative or unparseable values fall back to
+    :data:`DEFAULT_PROBE_STAGGER`.  Purely a virtual-time knob: it trades
+    redundant state-transfer bytes against worst-case catch-up delay when
+    the first probed peer cannot answer.
+    """
+    raw = os.environ.get("REPRO_PROBE_STAGGER")
+    if raw is None:
+        return DEFAULT_PROBE_STAGGER
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_PROBE_STAGGER
+    return value if value >= 0 else DEFAULT_PROBE_STAGGER
 
 
 @dataclass(frozen=True)
@@ -79,12 +117,20 @@ class StateTransfer:
         checkpoints: CheckpointProtocol,
         send_fn: Callable[[NodeId, object], None],
         apply_entry_fn: Callable[[SeqNr, LogEntry, EpochNr], None],
+        schedule_fn: Optional[Callable[[float, Callable[[], None]], object]] = None,
+        probe_stagger: Optional[float] = None,
     ):
         self.node_id = node_id
         self.config = config
         self.checkpoints = checkpoints
         self._send = send_fn
         self._apply_entry = apply_entry_fn
+        #: Timer factory for probe escalation; None (or a zero stagger)
+        #: falls back to probing every peer immediately.
+        self._schedule = schedule_fn
+        self.probe_stagger = (
+            probe_stagger if probe_stagger is not None else probe_stagger_interval()
+        )
         #: Epochs for which a transfer is currently outstanding.
         self._in_flight: set = set()
         self.transfers_completed = 0
@@ -94,6 +140,12 @@ class StateTransfer:
         self.entries_applied = 0
         #: Open-ended recovery probes sent.
         self.probes_sent = 0
+        #: Staggered escalations actually fired (earlier peers too slow).
+        self.probe_escalations = 0
+        #: Staggered request chains started (rotates the first responder).
+        self._ranged_requests = 0
+        #: Outstanding escalation/expiry timers (cancelled on host crash).
+        self._probe_timers: List[object] = []
 
     # ----------------------------------------------------------- requesting
     def request_missing(
@@ -110,6 +162,13 @@ class StateTransfer:
         exists for an epoch an earlier request failed to obtain (e.g. the
         request predated the checkpoint, or the responder crashed
         mid-transfer).
+
+        Requests use the staggered escalation discipline (see
+        :meth:`_staggered_send`): one peer is asked immediately, the rest
+        ``probe_stagger`` apart with the request narrowed to what is still
+        missing, and the in-flight reservation expires once the chain has
+        run through every peer — so a chain whose responders all fail never
+        blocks a later trigger from retrying.
         """
         wanted = [
             e
@@ -121,23 +180,123 @@ class StateTransfer:
         for epoch in wanted:
             self._in_flight.add(epoch)
         request = StateRequest(first_epoch=wanted[0], last_epoch=wanted[-1])
-        for peer in peers:
-            if peer != self.node_id:
-                self._send(peer, request)
+        others = [peer for peer in peers if peer != self.node_id]
+        if not others:
+            return
+        self._staggered_send(others, request)
 
     def request_latest(self, first_epoch: EpochNr, peers: List[NodeId]) -> None:
         """Open-ended recovery probe: fetch everything stable from ``first_epoch`` on.
 
         A freshly restarted node cannot know how many epochs were ordered
-        while it was down, so it asks every peer for all epochs they can
-        prove; duplicate responses are idempotent and redundant peers make
-        the probe robust to a responder crashing mid-transfer.
+        while it was down, so it asks for all epochs peers can prove.  The
+        probe targets peers one at a time (``probe_stagger`` apart); later
+        escalations re-base past whatever earlier responders already
+        supplied, so every peer is still consulted eventually but the full
+        stable prefix is shipped (at most) once instead of n-1 times.
+        With no scheduler or a zero stagger, every peer is probed at once
+        (the maximally redundant, maximally robust pre-trim behaviour).
         """
         self.probes_sent += 1
         request = StateRequest(first_epoch=first_epoch, last_epoch=LATEST_STABLE)
-        for peer in peers:
-            if peer != self.node_id:
+        others = [peer for peer in peers if peer != self.node_id]
+        if not others:
+            return
+        self._staggered_send(others, request)
+
+    # ------------------------------------------------- stagger & escalation
+    def _staggered_send(self, others: List[NodeId], request: StateRequest) -> None:
+        """Ask one peer now, schedule the rest ``probe_stagger`` apart.
+
+        The starting peer rotates per request so repeated catch-ups spread
+        the responder load.  Escalations self-narrow at fire time (see
+        :meth:`_escalate_probe`), so peers asked later only ship what the
+        earlier responders failed to supply; a ranged chain additionally
+        expires its in-flight reservation one stagger after the last peer
+        was asked, so even a chain of dead responders cannot block a later
+        trigger from retrying.  Without a scheduler (unit tests) or with a
+        zero stagger, every peer is asked at once — the pre-trim behaviour.
+        """
+        if self._schedule is None or self.probe_stagger <= 0:
+            for peer in others:
                 self._send(peer, request)
+            return
+        # Prune fired/cancelled timers so repeated catch-ups on a long-lived
+        # lagging node keep the handle list (and stop()'s work) bounded.
+        self._probe_timers = [
+            timer for timer in self._probe_timers if getattr(timer, "active", True)
+        ]
+        start = self._ranged_requests % len(others)
+        self._ranged_requests += 1
+        rotated = others[start:] + others[:start]
+        self._send(rotated[0], request)
+        for index, peer in enumerate(rotated[1:], start=1):
+            self._probe_timers.append(
+                self._schedule(
+                    self.probe_stagger * index,
+                    lambda p=peer, r=request: self._escalate_probe(p, r),
+                )
+            )
+        if request.last_epoch != LATEST_STABLE:
+            self._probe_timers.append(
+                self._schedule(
+                    self.probe_stagger * len(rotated),
+                    lambda r=request: self._expire_request(r),
+                )
+            )
+
+    def _escalate_probe(self, peer: NodeId, request: StateRequest) -> None:
+        """Fire one staggered escalation, narrowed to what is still missing.
+
+        Open-ended probes re-base past the local stable frontier (verified
+        responses restored those epochs' certificates, so the frontier
+        reflects everything already obtained); ranged requests shrink to
+        the outstanding epochs, one request per contiguous run so already
+        supplied gaps are never re-shipped.  When nothing is missing the
+        escalation is free: an empty range is skipped entirely and a
+        re-based probe only yields epochs that stabilised since.
+        """
+        if request.last_epoch == LATEST_STABLE:
+            latest = self.checkpoints.latest_stable_epoch()
+            if latest is not None and latest + 1 > request.first_epoch:
+                request = StateRequest(first_epoch=latest + 1, last_epoch=LATEST_STABLE)
+            self.probe_escalations += 1
+            self._send(peer, request)
+            return
+        missing = [
+            epoch
+            for epoch in range(request.first_epoch, request.last_epoch + 1)
+            if epoch in self._in_flight
+        ]
+        if not missing:
+            return
+        self.probe_escalations += 1
+        run_start = previous = missing[0]
+        for epoch in missing[1:] + [None]:
+            if epoch is not None and epoch == previous + 1:
+                previous = epoch
+                continue
+            self._send(peer, StateRequest(first_epoch=run_start, last_epoch=previous))
+            if epoch is not None:
+                run_start = previous = epoch
+
+    def _expire_request(self, request: StateRequest) -> None:
+        """Release a ranged chain's in-flight reservation after it ran dry.
+
+        Fires one stagger interval after the chain's last peer was asked:
+        whatever is still unapplied by then is fair game for the next
+        catch-up trigger (fresh chain, freshly rotated peers).
+        """
+        for epoch in range(request.first_epoch, request.last_epoch + 1):
+            self._in_flight.discard(epoch)
+
+    def stop(self) -> None:
+        """Cancel outstanding escalation timers (host crashed or shut down)."""
+        for timer in self._probe_timers:
+            cancel = getattr(timer, "cancel", None)
+            if cancel is not None:
+                cancel()
+        self._probe_timers = []
 
     # ------------------------------------------------------------ answering
     def build_responses(self, request: StateRequest, log: Log) -> List[StateResponse]:

@@ -6,8 +6,10 @@ Two checks keep the project docs trustworthy:
   every public class and function defined in one, must carry a docstring.
   New subsystems cannot land undocumented, which is how the README and
   ARCHITECTURE docs stay honest.
-* **README executability** — every ``python`` code block in ``README.md``
-  must actually run.  Quickstart snippets that rot are worse than none.
+* **Snippet executability** — every ``python`` code block in ``README.md``
+  *and* in the scenario catalog ``docs/SCENARIOS.md`` must actually run.
+  Quickstart snippets that rot are worse than none, and the scenario
+  catalog promises one runnable snippet per fault/adversary spec.
 
 Run both from the repository root::
 
@@ -131,6 +133,10 @@ def _default_readme_path() -> Path:
     return Path(__file__).resolve().parents[2] / "README.md"
 
 
+def _default_scenarios_path() -> Path:
+    return Path(__file__).resolve().parents[2] / "docs" / "SCENARIOS.md"
+
+
 def main(argv=None) -> int:
     """CLI entry point; exits 0 only when every check passes."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -142,7 +148,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-readme",
         action="store_true",
-        help="only run the docstring audit",
+        help="only run the docstring audit (skips all snippet execution)",
     )
     args = parser.parse_args(argv)
 
@@ -150,6 +156,10 @@ def main(argv=None) -> int:
     if not args.skip_readme:
         readme = Path(args.readme) if args.readme else _default_readme_path()
         problems += check_readme_blocks(readme)
+        if args.readme is None:
+            # Documents execute in separate namespaces: the scenario catalog
+            # must stand on its own just like the README quickstart.
+            problems += check_readme_blocks(_default_scenarios_path())
 
     if problems:
         print(f"doccheck: {len(problems)} problem(s)", file=sys.stderr)

@@ -32,8 +32,16 @@ from ..core.iss import ISSNode
 from ..core.leader_policy import LeaderSelectionPolicy
 from ..core.segment import LAYOUT_ROUND_ROBIN
 from ..crypto.signatures import KeyStore
+from ..core.state_transfer import probe_stagger_interval
 from ..metrics.collector import MetricsCollector, RunReport
-from ..sim.faults import CrashSpec, FaultInjector, RestartSpec, StragglerSpec
+from ..sim.faults import (
+    BYZ_CENSOR,
+    ByzantineSpec,
+    CrashSpec,
+    FaultInjector,
+    RestartSpec,
+    StragglerSpec,
+)
 from ..sim.latency import LatencyModel
 from ..sim.network import Network
 from ..sim.simulator import Simulator
@@ -90,8 +98,10 @@ class Deployment:
         crash_specs: Sequence[CrashSpec] = (),
         straggler_specs: Sequence[StragglerSpec] = (),
         restart_specs: Sequence[RestartSpec] = (),
+        byzantine_specs: Sequence[ByzantineSpec] = (),
         durable_storage: Optional[bool] = None,
         recovery_poll: Optional[float] = None,
+        probe_stagger: Optional[float] = None,
         policy_factory: Optional[PolicyFactory] = None,
         node_class: Type[ISSNode] = ISSNode,
         layout: str = LAYOUT_ROUND_ROBIN,
@@ -103,6 +113,7 @@ class Deployment:
         self.crash_specs = list(crash_specs)
         self.straggler_specs = list(straggler_specs)
         self.restart_specs = list(restart_specs)
+        self.byzantine_specs = list(byzantine_specs)
         self.policy_factory = policy_factory
         self.node_class = node_class
         self.layout = layout
@@ -120,6 +131,11 @@ class Deployment:
         self.recovery_poll = (
             recovery_poll if recovery_poll and recovery_poll > 0 else recovery_poll_interval()
         )
+        #: Open-ended state-transfer probe stagger (pass explicitly to pin
+        #: against the ``REPRO_PROBE_STAGGER`` env var, e.g. golden traces).
+        self.probe_stagger = (
+            probe_stagger if probe_stagger is not None else probe_stagger_interval()
+        )
 
         self.sim = Simulator(seed=config.random_seed)
         self.latency = LatencyModel(self.network_config, config.num_nodes)
@@ -135,6 +151,19 @@ class Deployment:
         self._stragglers_by_node: Dict[int, StragglerSpec] = {
             spec.node: spec for spec in self.straggler_specs
         }
+        self._byzantine_by_node: Dict[int, ByzantineSpec] = {
+            spec.node: spec for spec in self.byzantine_specs
+        }
+        censored = sorted(
+            {
+                bucket
+                for spec in self.byzantine_specs
+                if spec.behaviour == BYZ_CENSOR
+                for bucket in spec.buckets
+            }
+        )
+        if censored:
+            self.collector.watch_buckets(censored, config.num_buckets)
         self.storages: Dict[int, NodeStorage] = {}
         if self.durable_storage:
             self.storages = {
@@ -152,6 +181,7 @@ class Deployment:
         self.injector.on_restart = self._on_node_restart
         self.injector.schedule_all(self.crash_specs)
         self.injector.schedule_restarts(self.restart_specs)
+        self.injector.schedule_byzantines(self.byzantine_specs)
 
         self.clients: List[Client] = []
         for client_id in client_ids:
@@ -193,9 +223,11 @@ class Deployment:
             on_deliver=self.collector.record_delivery,
             fault_injector=self.injector,
             straggler=self._stragglers_by_node.get(node_id),
+            byzantine=self._byzantine_by_node.get(node_id),
             policy=policy,
             layout=self.layout,
             storage=self.storages.get(node_id),
+            probe_stagger=self.probe_stagger,
         )
 
     # ------------------------------------------------------- crash / restart
@@ -293,7 +325,11 @@ class Deployment:
         for record in self._pending_recoveries:
             self.collector.record_recovery(record)
         self._pending_recoveries = []
-        report = self.collector.report(duration=self.workload.duration, extra=self._extra_stats())
+        report = self.collector.report(
+            duration=self.workload.duration,
+            extra=self._extra_stats(),
+            byzantine=self._byzantine_stats(),
+        )
         return DeploymentResult(
             report=report,
             nodes=self.nodes,
@@ -302,6 +338,30 @@ class Deployment:
             collector=self.collector,
             storages=self.storages,
         )
+
+    def _byzantine_stats(self) -> Optional[Dict[str, object]]:
+        """Per-node misbehaviour counters for adversarial runs (else None).
+
+        ``per_node`` carries, for every *current incarnation*, the number of
+        equivocations it detected (provable conflicting proposals) and the
+        forged signatures it rejected across all layers (client requests,
+        checkpoint votes, protocol votes); ``adversaries`` names the
+        scheduled Byzantine nodes and behaviours.
+        """
+        if not self.byzantine_specs:
+            return None
+        return {
+            "per_node": {
+                node.node_id: {
+                    "equivocations_detected": node.equivocations_detected,
+                    "invalid_sigs_rejected": node.invalid_signatures_rejected(),
+                }
+                for node in self.nodes
+            },
+            "adversaries": {
+                spec.node: spec.behaviour for spec in self.byzantine_specs
+            },
+        }
 
     def _extra_stats(self) -> Dict[str, float]:
         alive = [n for n in self.nodes if not n.crashed]
@@ -319,6 +379,13 @@ class Deployment:
         }
         if self.restart_specs:
             stats["restarts_performed"] = float(len(self.injector.restarted_nodes()))
+        if self.byzantine_specs:
+            stats["equivocations_detected_total"] = float(
+                sum(n.equivocations_detected for n in self.nodes)
+            )
+            stats["invalid_sigs_rejected_total"] = float(
+                sum(n.invalid_signatures_rejected() for n in self.nodes)
+            )
         if self.storages:
             stats["wal_appended_total"] = float(
                 sum(s.wal.appended_total for s in self.storages.values())

@@ -32,8 +32,23 @@ from ..core.config import (
 )
 from ..core.segment import LAYOUT_CONTIGUOUS, LAYOUT_ROUND_ROBIN
 from ..metrics.collector import RunReport
-from ..sim.faults import CrashSpec, RestartSpec, StragglerSpec
-from ..workload.faults import epoch_end_crashes, epoch_start_crashes, stragglers
+from ..sim.faults import (
+    BYZ_CENSOR,
+    BYZ_EQUIVOCATE,
+    BYZ_INVALID_VOTES,
+    BYZ_REPLAY,
+    ByzantineSpec,
+    CrashSpec,
+    RestartSpec,
+    StragglerSpec,
+)
+from ..workload.faults import (
+    byzantine_leaders,
+    censorship_targets,
+    epoch_end_crashes,
+    epoch_start_crashes,
+    stragglers,
+)
 from .runner import Deployment
 
 
@@ -570,6 +585,186 @@ def recovery_time_over_downtime(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure-13-style scenarios — active Byzantine adversaries
+# ---------------------------------------------------------------------------
+
+def correct_nodes(result, byzantine_specs: Sequence[ByzantineSpec]) -> List[object]:
+    """The live, non-adversarial nodes of a finished deployment result."""
+    adversarial = {spec.node for spec in byzantine_specs}
+    return [
+        node
+        for node in result.nodes
+        if node.node_id not in adversarial and not node.crashed
+    ]
+
+
+def prefixes_identical(nodes: Sequence[object]) -> bool:
+    """SMR safety across a node set: every pair agrees on every position
+    both have delivered (see :func:`delivered_prefix_matches`)."""
+    for index, reference in enumerate(nodes):
+        for other in nodes[index + 1 :]:
+            if not delivered_prefix_matches(reference, other):
+                return False
+    return True
+
+
+def byzantine_point(
+    protocol: str,
+    behaviour: str = BYZ_EQUIVOCATE,
+    num_adversaries: int = 1,
+    num_nodes: int = 4,
+    rate: float = 600.0,
+    duration: float = 20.0,
+    censored_bucket_count: int = 4,
+    seed: int = 42,
+    drain_time: float = 10.0,
+) -> Dict[str, object]:
+    """One run under ``num_adversaries`` actively Byzantine nodes.
+
+    The row combines the run's throughput/latency with the safety check
+    (identical delivered prefixes across correct nodes), the detection
+    counters from ``RunReport.byzantine`` and whether the leader-selection
+    policy (Blacklist by default) evicted the adversaries from the final
+    epoch's leaderset.  ``behaviour`` is one of the
+    :data:`~repro.sim.faults.BYZANTINE_BEHAVIOURS`.
+    """
+    config = iss_config(protocol, num_nodes, random_seed=seed)
+    buckets: Sequence[int] = ()
+    if behaviour == BYZ_CENSOR:
+        buckets = censorship_targets(config.num_buckets, censored_bucket_count)
+    specs = byzantine_leaders(
+        num_adversaries, num_nodes, behaviour=behaviour, buckets=buckets
+    )
+    deployment = Deployment(
+        config,
+        network_config=scaled_network(),
+        workload=_workload(rate, duration),
+        byzantine_specs=specs,
+        drain_time=drain_time,
+    )
+    result = deployment.run()
+    report = result.report
+    correct = correct_nodes(result, specs)
+    sample = correct[0]
+    final_leaders = sample.manager.leaders_for(sample.current_epoch)
+    adversaries = [spec.node for spec in specs]
+    per_node = report.byzantine.get("per_node", {})
+    row: Dict[str, object] = {
+        "protocol": protocol,
+        "behaviour": behaviour,
+        "adversaries": num_adversaries,
+        "throughput": report.throughput,
+        "latency_mean": report.latency.mean,
+        "latency_p95": report.latency.p95,
+        "prefixes_identical": prefixes_identical(correct),
+        "nil_committed": sample.nil_committed,
+        "equivocations_detected": sum(
+            per_node.get(n.node_id, {}).get("equivocations_detected", 0) for n in correct
+        ),
+        "invalid_sigs_rejected": sum(
+            per_node.get(n.node_id, {}).get("invalid_sigs_rejected", 0) for n in correct
+        ),
+        "adversaries_evicted": all(a not in final_leaders for a in adversaries),
+        "final_leaderset_size": len(final_leaders),
+    }
+    censored = report.byzantine.get("censored")
+    if censored is not None:
+        row["censored_submitted"] = censored["submitted"]
+        row["censored_completed"] = censored["completed"]
+        row["censored_latency_mean"] = censored["latency"].mean
+        row["censored_latency_p95"] = censored["latency"].p95
+    return row
+
+
+def byzantine_leader_sweep(
+    protocols: Sequence[str] = (PROTOCOL_PBFT, PROTOCOL_HOTSTUFF),
+    behaviours: Sequence[str] = (BYZ_EQUIVOCATE, BYZ_CENSOR),
+    adversary_counts: Sequence[int] = (0, 1),
+    num_nodes: int = 4,
+    rate: float = 600.0,
+    duration: float = 20.0,
+) -> List[Dict[str, object]]:
+    """Throughput/latency with up to ``f`` active adversaries (Fig. 13 style).
+
+    A single zero-adversary row per protocol (``behaviour="none"``) gives
+    the clean baseline every behaviour's curve is measured against — the
+    baseline deployment is behaviour-independent, so it runs once instead
+    of once per behaviour.  Equivocation and forged votes target the BFT
+    protocols; Raft (CFT) only appears when paired with behaviours inside
+    its fault model (censorship, replay).
+    """
+    rows: List[Dict[str, object]] = []
+    attacked_counts = [count for count in adversary_counts if count > 0]
+    for protocol in protocols:
+        if 0 in adversary_counts:
+            baseline = byzantine_point(
+                protocol,
+                behaviour=BYZ_EQUIVOCATE,  # irrelevant: zero adversaries
+                num_adversaries=0,
+                num_nodes=num_nodes,
+                rate=rate,
+                duration=duration,
+            )
+            baseline["behaviour"] = "none"
+            rows.append(baseline)
+        for behaviour in behaviours:
+            if protocol == PROTOCOL_RAFT and behaviour in (
+                BYZ_EQUIVOCATE,
+                BYZ_INVALID_VOTES,
+            ):
+                continue
+            for count in attacked_counts:
+                rows.append(
+                    byzantine_point(
+                        protocol,
+                        behaviour=behaviour,
+                        num_adversaries=count,
+                        num_nodes=num_nodes,
+                        rate=rate,
+                        duration=duration,
+                    )
+                )
+    return rows
+
+
+def censorship_rotation(
+    num_nodes: int = 4,
+    rate: float = 600.0,
+    duration: float = 16.0,
+    censored_bucket_count: int = 4,
+    drain_time: float = 15.0,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Bucket rotation vs a censoring leader (the Section 3.2 defence).
+
+    One Byzantine leader censors a fixed bucket set for the whole run; the
+    row reports how much of the censored traffic still completed and the
+    latency penalty it paid waiting for its buckets to rotate to honest
+    leaders.  The generous ``drain_time`` lets requests submitted right
+    before the workload ends complete, so ``censored_completed`` can reach
+    ``censored_submitted``.
+    """
+    row = byzantine_point(
+        PROTOCOL_PBFT,
+        behaviour=BYZ_CENSOR,
+        num_adversaries=1,
+        num_nodes=num_nodes,
+        rate=rate,
+        duration=duration,
+        censored_bucket_count=censored_bucket_count,
+        seed=seed,
+        drain_time=drain_time,
+    )
+    submitted = row.get("censored_submitted", 0)
+    completed = row.get("censored_completed", 0)
+    row["censored_completion_ratio"] = (completed / submitted) if submitted else 1.0
+    row["latency_penalty"] = (
+        row["censored_latency_mean"] / row["latency_mean"] if row["latency_mean"] else 1.0
+    )
+    return row
 
 
 def epoch_length_ablation(

@@ -261,6 +261,8 @@ class HotStuffSB(SBInstance):
         if vote.block_digest in self._qc_formed:
             return
         if not self._threshold.verify_share(vote.partial):
+            # Forged partial signature: reject and let the host count it.
+            self.context.report_misbehaviour("invalid-signature", src)
             return
         shares = self._vote_shares.setdefault(vote.block_digest, {})
         shares[src] = vote.partial

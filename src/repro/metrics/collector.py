@@ -71,6 +71,12 @@ class RunReport:
     #: One record per node restart: WAL entries replayed, state-transfer
     #: bytes, time-to-caught-up... (see ``Deployment._on_node_restart``).
     recoveries: List[Dict[str, float]] = field(default_factory=list)
+    #: Byzantine-fault diagnostics, empty for non-adversarial runs:
+    #: ``per_node`` maps node → {equivocations_detected,
+    #: invalid_sigs_rejected}, ``adversaries`` maps node → behaviour, and
+    #: ``censored`` summarises delivery of requests in censored buckets
+    #: (buckets, submitted, completed, latency: LatencySummary).
+    byzantine: Dict[str, object] = field(default_factory=dict)
 
 
 class MetricsCollector:
@@ -88,10 +94,38 @@ class MetricsCollector:
         self._completion_timestamps: List[float] = []
         self.deliveries_observed = 0
         self._recoveries: List[Dict[str, float]] = []
+        #: Censored-bucket watch (Byzantine censorship scenarios); None off.
+        self._censored_buckets: Optional[frozenset] = None
+        self._num_buckets = 0
+        self._censored_latencies: List[float] = []
+        self._censored_submitted = 0
 
     # ------------------------------------------------------------ recording
+    def watch_buckets(self, buckets, num_buckets: int) -> None:
+        """Track delivery latency of requests mapping to ``buckets``.
+
+        The harness arms this for censorship scenarios: the report then
+        carries a separate latency summary for exactly the requests a
+        Byzantine leader tries to suppress, which is how the benchmarks
+        show censored buckets still completing (bucket rotation, Sec. 3.2).
+        """
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        self._censored_buckets = frozenset(buckets)
+        self._num_buckets = num_buckets
+
+    def _is_censored(self, rid: RequestId) -> bool:
+        return rid._mix % self._num_buckets in self._censored_buckets
+
     def record_submit(self, rid: RequestId, time: float) -> None:
-        self._submit_times.setdefault(rid, time)
+        if rid not in self._submit_times:
+            self._submit_times[rid] = time
+            if (
+                self._censored_buckets is not None
+                and time >= self.warmup
+                and self._is_censored(rid)
+            ):
+                self._censored_submitted += 1
 
     def record_delivery(self, node_id: NodeId, delivered: DeliveredRequest) -> None:
         """Feed one node's SMR-DELIVER event (wired as the node's on_deliver).
@@ -137,6 +171,8 @@ class MetricsCollector:
             return
         self._latencies.append(time - submit)
         self._completion_timestamps.append(time)
+        if self._censored_buckets is not None and self._is_censored(rid):
+            self._censored_latencies.append(time - submit)
 
     # ------------------------------------------------------------ reporting
     def completed_count(self) -> int:
@@ -157,9 +193,25 @@ class MetricsCollector:
                 counts[index] += 1
         return [(self.warmup + (i + 1) * bucket, counts[i] / bucket) for i in range(buckets)]
 
-    def report(self, duration: float, extra: Optional[Dict[str, float]] = None) -> RunReport:
+    def report(
+        self,
+        duration: float,
+        extra: Optional[Dict[str, float]] = None,
+        byzantine: Optional[Dict[str, object]] = None,
+    ) -> RunReport:
+        """Summarise the run; ``byzantine`` carries the harness's per-node
+        misbehaviour counters and is merged with the collector's own
+        censored-bucket figures."""
         measured = max(1e-9, duration - self.warmup)
         completed = len(self._latencies)
+        byz: Dict[str, object] = dict(byzantine or {})
+        if self._censored_buckets is not None:
+            byz["censored"] = {
+                "buckets": sorted(self._censored_buckets),
+                "submitted": self._censored_submitted,
+                "completed": len(self._censored_latencies),
+                "latency": LatencySummary.from_samples(self._censored_latencies),
+            }
         return RunReport(
             duration=duration,
             submitted=self.submitted_count(),
@@ -169,4 +221,5 @@ class MetricsCollector:
             throughput_timeline=self.throughput_timeline(measured),
             extra=dict(extra or {}),
             recoveries=[dict(r) for r in self._recoveries],
+            byzantine=byz,
         )

@@ -42,6 +42,8 @@ class _Slot:
     #: Highest view in which a value was prepared, with its proof.
     prepared_proof: Optional[PreparedProof] = None
     committed: bool = False
+    #: Views for which primary equivocation was already reported (once each).
+    equivocation_reported: Set[ViewNr] = field(default_factory=set)
 
 
 class PbftSB(SBInstance):
@@ -153,6 +155,8 @@ class PbftSB(SBInstance):
         slot.preprepare = message
         slot.value = message.value
         self._send_prepare(slot, message.view, message.digest)
+        # Prepare votes conflicting with this proposal may already be here.
+        self._maybe_detect_equivocation(slot)
 
     def _send_prepare(self, slot: _Slot, view: ViewNr, digest: bytes) -> None:
         if view in slot.prepare_sent:
@@ -166,7 +170,33 @@ class PbftSB(SBInstance):
             return
         voters = slot.prepares.setdefault((message.view, message.digest), set())
         voters.add(src)
+        self._maybe_detect_equivocation(slot)
         self._check_prepared(slot, message.view, message.digest)
+
+    def _maybe_detect_equivocation(self, slot: _Slot) -> None:
+        """Detect primary equivocation from conflicting prepare votes.
+
+        ``f+1`` prepare votes for a digest *different* from the pre-prepare
+        this node accepted in the same view prove at least one *correct*
+        node accepted a conflicting pre-prepare — over authenticated
+        channels, only an equivocating primary can produce that state.
+        Reported once per (slot, view) via the context (diagnostics only;
+        eviction stays log-driven, see ``SBContext.report_misbehaviour``).
+        """
+        accepted = slot.preprepare
+        if accepted is None:
+            return
+        view = accepted.view
+        if view in slot.equivocation_reported:
+            return
+        if self.primary_of(view) == self.context.node_id:
+            return  # our own proposal cannot prove someone else equivocated
+        weak = self.context.weak_quorum
+        for (vote_view, digest), voters in slot.prepares.items():
+            if vote_view == view and digest != accepted.digest and len(voters) >= weak:
+                slot.equivocation_reported.add(view)
+                self.context.report_misbehaviour("equivocation", self.primary_of(view))
+                return
 
     def _check_prepared(self, slot: _Slot, view: ViewNr, digest: bytes) -> None:
         voters = slot.prepares.get((view, digest), set())

@@ -26,12 +26,13 @@ while the node was down.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from . import golden
 from .core.config import ISSConfig, NetworkConfig, WorkloadConfig, PROTOCOL_PBFT
+from .core.state_transfer import DEFAULT_PROBE_STAGGER
 from .core.types import is_nil
 from .harness.runner import DEFAULT_RECOVERY_POLL_INTERVAL, Deployment
 from .harness.scenarios import (
@@ -71,8 +72,8 @@ def build_deployment() -> Deployment:
     """Build the pinned scenario.
 
     Every knob that an env var could move (flush interval, recovery poll
-    tick) is set explicitly: the golden trace must be machine- and
-    environment-stable.
+    tick, state-transfer probe stagger) is set explicitly: the golden
+    trace must be machine- and environment-stable.
     """
     config = iss_config(
         SCENARIO["protocol"], SCENARIO["num_nodes"], random_seed=SCENARIO["random_seed"]
@@ -97,6 +98,7 @@ def build_deployment() -> Deployment:
         ],
         restart_specs=[RestartSpec(node=victim, time=SCENARIO["restart_time"])],
         recovery_poll=DEFAULT_RECOVERY_POLL_INTERVAL,
+        probe_stagger=DEFAULT_PROBE_STAGGER,
     )
 
 
@@ -152,27 +154,9 @@ def check_against_golden(
     figures: Dict[str, object], path: Path
 ) -> Optional[str]:
     """Return an error string when the run diverges from the golden trace."""
-    if not path.exists():
-        return (
-            f"golden trace {path} does not exist — run with --update-golden "
-            f"to record one"
-        )
-    golden = json.loads(path.read_text())
-    if golden.get("scenario") != figures["scenario"]:
-        return (
-            f"golden trace {path} was recorded for a different scenario — "
-            f"re-record it with --update-golden"
-        )
-    for key in PINNED_KEYS:
-        if golden.get(key) != figures[key]:
-            return (
-                f"RECOVERY DETERMINISM REGRESSION: {key} diverged from the "
-                f"golden trace (golden {golden.get(key)!r}, "
-                f"measured {figures[key]!r}).  Same-seed restarts must "
-                f"replay identically; re-record with --update-golden only "
-                f"for an intentional schedule change."
-            )
-    return None
+    return golden.check_against_golden(
+        figures, path, PINNED_KEYS, "RECOVERY DETERMINISM REGRESSION"
+    )
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -220,7 +204,7 @@ def main(argv: Optional[list] = None) -> int:
 
     path = golden_path()
     if args.update_golden:
-        path.write_text(json.dumps(figures, indent=2) + "\n")
+        golden.write_golden(figures, path)
         print(f"updated golden trace {path}")
         return 0
     error = check_against_golden(figures, path)

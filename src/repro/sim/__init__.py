@@ -6,10 +6,15 @@ from .network import Network, NetworkStats, wire_size
 from .faults import (
     CrashSpec,
     StragglerSpec,
+    ByzantineSpec,
     FaultInjector,
     CRASH_AT_TIME,
     CRASH_EPOCH_START,
     CRASH_EPOCH_END,
+    BYZ_EQUIVOCATE,
+    BYZ_CENSOR,
+    BYZ_INVALID_VOTES,
+    BYZ_REPLAY,
 )
 
 __all__ = [
@@ -23,8 +28,13 @@ __all__ = [
     "wire_size",
     "CrashSpec",
     "StragglerSpec",
+    "ByzantineSpec",
     "FaultInjector",
     "CRASH_AT_TIME",
     "CRASH_EPOCH_START",
     "CRASH_EPOCH_END",
+    "BYZ_EQUIVOCATE",
+    "BYZ_CENSOR",
+    "BYZ_INVALID_VOTES",
+    "BYZ_REPLAY",
 ]

@@ -20,17 +20,26 @@ re-instantiates the node from its
 :class:`~repro.storage.node_storage.NodeStorage` via the recovery manager
 (see :mod:`repro.storage.recovery`).
 
-Crash/restart scheduling lives here (it is purely a network/timing
-concern); straggler behaviour is implemented inside the ISS node
-(:class:`repro.core.iss.ISSNode` honours a :class:`StragglerSpec`).
+Beyond crashes and stragglers, :class:`ByzantineSpec` describes an
+*actively malicious* node.  Behaviours that manipulate what leaves the
+node (equivocation, forged votes, replay flooding) are installed as a
+per-node adversarial send hook on the :class:`Network` (built by
+:mod:`repro.sim.adversary`); behaviours that manipulate what the node
+*does* (bucket censorship) are honoured by the ISS node itself, exactly
+like :class:`StragglerSpec`.
+
+Crash/restart/adversary scheduling lives here (it is purely a
+network/timing concern); straggler and censorship behaviour is
+implemented inside the ISS node (:class:`repro.core.iss.ISSNode` honours
+:class:`StragglerSpec` and :class:`ByzantineSpec`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.types import EpochNr, NodeId
+from ..core.types import BucketId, EpochNr, NodeId
 from .network import Network
 from .simulator import Simulator
 
@@ -38,6 +47,14 @@ from .simulator import Simulator
 CRASH_AT_TIME = "at-time"
 CRASH_EPOCH_START = "epoch-start"
 CRASH_EPOCH_END = "epoch-end"
+
+#: Byzantine behaviours (see :class:`ByzantineSpec`).
+BYZ_EQUIVOCATE = "equivocate"
+BYZ_CENSOR = "censor"
+BYZ_INVALID_VOTES = "invalid-votes"
+BYZ_REPLAY = "replay"
+
+BYZANTINE_BEHAVIOURS = (BYZ_EQUIVOCATE, BYZ_CENSOR, BYZ_INVALID_VOTES, BYZ_REPLAY)
 
 
 @dataclass(frozen=True)
@@ -92,6 +109,47 @@ class StragglerSpec:
     propose_empty: bool = True
 
 
+@dataclass(frozen=True)
+class ByzantineSpec:
+    """Description of one actively Byzantine node.
+
+    ``behaviour`` selects the attack:
+
+    * ``"equivocate"`` — as a segment leader, send *conflicting* proposals
+      to different peers (a valid batch to one half, a valid-but-different
+      batch to the other), attacking SB Agreement.
+    * ``"censor"`` — as a segment leader, silently exclude the requests of
+      ``buckets`` from every batch it cuts (the censorship attack bucket
+      rotation defends against, Section 3.2).
+    * ``"invalid-votes"`` — corrupt every outgoing vote: checkpoint
+      signatures, HotStuff partial signatures and PBFT vote digests are
+      forged, so correct nodes must reject them.
+    * ``"replay"`` — send every protocol message ``replay_factor`` times
+      (duplicate/replay flooding; receivers' idempotence must absorb it).
+
+    Equivocation and forged votes target the BFT protocols; Raft is CFT
+    and makes no integrity promises against them (the scenarios only pair
+    Raft with the censorship and replay behaviours).
+    """
+
+    node: NodeId
+    behaviour: str = BYZ_EQUIVOCATE
+    #: Virtual time at which the node turns Byzantine (0 = from the start).
+    start_time: float = 0.0
+    #: Buckets censored by the ``"censor"`` behaviour (ignored otherwise).
+    buckets: Tuple[BucketId, ...] = ()
+    #: Copies of each message sent by the ``"replay"`` behaviour.
+    replay_factor: int = 3
+
+    def __post_init__(self) -> None:
+        if self.behaviour not in BYZANTINE_BEHAVIOURS:
+            raise ValueError(f"unknown Byzantine behaviour {self.behaviour!r}")
+        if self.behaviour == BYZ_CENSOR and not self.buckets:
+            raise ValueError("censor behaviour requires at least one bucket")
+        if self.behaviour == BYZ_REPLAY and self.replay_factor < 2:
+            raise ValueError("replay_factor must be >= 2")
+
+
 class FaultInjector:
     """Applies :class:`CrashSpec` schedules to a running deployment.
 
@@ -108,6 +166,9 @@ class FaultInjector:
         self._restart_specs: List[RestartSpec] = []
         #: ``(node, virtual time)`` of every restart performed so far.
         self._restarted: List[tuple] = []
+        self._byzantine_specs: List[ByzantineSpec] = []
+        #: Installed adversarial senders by node (see :mod:`.adversary`).
+        self._adversaries: Dict[NodeId, object] = {}
         self._epoch_start_watch: Dict[NodeId, List[CrashSpec]] = {}
         self._epoch_end_watch: Dict[NodeId, List[CrashSpec]] = {}
         #: Called right after a node is crashed (e.g. to stop its timers).
@@ -138,6 +199,36 @@ class FaultInjector:
     def schedule_restarts(self, specs: Sequence[RestartSpec]) -> None:
         for spec in specs:
             self.schedule_restart(spec)
+
+    def schedule_byzantine(self, spec: ByzantineSpec) -> None:
+        """Arm one :class:`ByzantineSpec`.
+
+        Send-manipulating behaviours install an adversarial hook on the
+        network at ``spec.start_time``; node-level behaviours (censorship)
+        are honoured by the node itself and need no network hook.  The hook
+        survives crash/restart of the node — a restarted Byzantine node
+        stays Byzantine.
+        """
+        self._byzantine_specs.append(spec)
+        from .adversary import make_adversary  # deferred: adversary imports protocol types
+
+        adversary = make_adversary(spec)
+        if adversary is None:
+            return
+        if spec.start_time <= self.sim.now:
+            self._install_adversary(spec.node, adversary)
+        else:
+            self.sim.schedule_at(
+                spec.start_time, lambda: self._install_adversary(spec.node, adversary)
+            )
+
+    def schedule_byzantines(self, specs: Sequence[ByzantineSpec]) -> None:
+        for spec in specs:
+            self.schedule_byzantine(spec)
+
+    def _install_adversary(self, node: NodeId, adversary) -> None:
+        self._adversaries[node] = adversary
+        self.network.set_adversary(node, adversary)
 
     # ---------------------------------------------------------------- hooks
     def notify_epoch_start(self, node: NodeId, epoch: EpochNr) -> None:
@@ -189,3 +280,12 @@ class FaultInjector:
     def restarted_nodes(self) -> Sequence[tuple]:
         """``(node, time)`` pairs of every restart performed so far."""
         return tuple(self._restarted)
+
+    def byzantine_nodes(self) -> Sequence[NodeId]:
+        """Nodes covered by a scheduled :class:`ByzantineSpec`."""
+        return tuple(spec.node for spec in self._byzantine_specs)
+
+    def adversary_for(self, node: NodeId):
+        """The installed adversarial sender of ``node`` (None before
+        ``start_time`` and for node-level behaviours such as censorship)."""
+        return self._adversaries.get(node)

@@ -45,6 +45,11 @@ MessageHandler = Callable[[NodeId, object], None]
 #: Signature: ``fn(src, dst, message) -> bool``.
 LinkFilter = Callable[[NodeId, NodeId, object], bool]
 
+#: Per-node adversarial send hook (see :mod:`repro.sim.adversary`):
+#: ``fn(dst, message)`` returns the messages actually put on the wire
+#: towards ``dst`` — transformed, duplicated, or none at all.
+AdversarialSendHook = Callable[[NodeId, object], Iterable[object]]
+
 #: Wire-size strategies, resolved once per message type (see :func:`wire_size`).
 _SIZE_WIRE, _SIZE_BYTES, _SIZE_DEFAULT = 0, 1, 2
 _SIZE_KIND_BY_TYPE: Dict[type, int] = {}
@@ -119,6 +124,9 @@ class Network:
         #: Current partition: a node-to-group mapping; messages across groups drop.
         self._partition_group: Dict[NodeId, int] = {}
         self._link_filters: List[LinkFilter] = []
+        #: Adversarial send hooks by node (empty in non-Byzantine runs, so
+        #: the hot path pays one truthiness test).
+        self._adversaries: Dict[NodeId, AdversarialSendHook] = {}
         self.stats = NetworkStats()
         #: Wire batcher coalescing small batchable messages per (src, dst,
         #: flush tick); ``None`` when batching is disabled (the default).
@@ -179,6 +187,21 @@ class Network:
     def heal_partition(self) -> None:
         self._partition_group = {}
 
+    def set_adversary(self, node: NodeId, hook: AdversarialSendHook) -> None:
+        """Install an adversarial send hook for ``node`` (Byzantine faults).
+
+        Every message ``node`` sends to a *remote* endpoint is routed through
+        ``hook(dst, message)`` first; whatever the hook returns goes on the
+        wire instead.  Local short-circuits (a node's messages to itself)
+        never touch the network, so the adversary cannot corrupt its own
+        state by accident — exactly the power a malicious replica has.
+        """
+        self._adversaries[node] = hook
+
+    def clear_adversary(self, node: NodeId) -> None:
+        """Remove ``node``'s adversarial send hook (it turns honest again)."""
+        self._adversaries.pop(node, None)
+
     def add_link_filter(self, fn: LinkFilter) -> None:
         """Install a message filter (drop/allow) evaluated on every send."""
         self._link_filters.append(fn)
@@ -214,11 +237,35 @@ class Network:
         through vetoing link filters, or hit by random drops are silently
         discarded — exactly what an unreliable asynchronous network does.
 
+        When ``src`` has an adversarial send hook installed (Byzantine
+        faults, see :meth:`set_adversary`), the hook rewrites the message
+        first; each of its outputs then pays the full normal path (batching,
+        faults, NIC, latency) like any honestly sent message.
+
         With wire batching enabled, batchable messages (see
         :mod:`repro.sim.batching`) detour through the batcher and hit the
         wire as part of a coalesced frame at the link's next flush tick;
         fault checks, NIC serialisation and latency then apply to the frame.
         """
+        if self._adversaries:
+            hook = self._adversaries.get(src)
+            if hook is not None:
+                for out in hook(dst, message):
+                    # Tampered messages get their size re-measured.
+                    self._dispatch(
+                        src, dst, out, size_bytes if out is message else None
+                    )
+                return
+        self._dispatch(src, dst, message, size_bytes)
+
+    def _dispatch(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: object,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        """Post-adversary send path: batching detour or immediate send."""
         batcher = self.batcher
         if batcher is not None and src != dst and is_batchable(message):
             # Link filters are a per-*message* contract, so they run here —

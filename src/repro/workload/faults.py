@@ -10,13 +10,16 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from ..sim.faults import (
+    BYZ_CENSOR,
+    BYZ_EQUIVOCATE,
     CRASH_AT_TIME,
     CRASH_EPOCH_END,
     CRASH_EPOCH_START,
+    ByzantineSpec,
     CrashSpec,
     StragglerSpec,
 )
-from ..core.types import NodeId
+from ..core.types import BucketId, NodeId
 
 
 def epoch_start_crashes(count: int, num_nodes: int, epoch: int = 0) -> List[CrashSpec]:
@@ -53,6 +56,42 @@ def stragglers(count: int, num_nodes: int, delay: float = 5.0) -> List[Straggler
     _check_count(count, num_nodes)
     victims = [num_nodes - 1 - i for i in range(count)]
     return [StragglerSpec(node=v, delay=delay, propose_empty=True) for v in victims]
+
+
+def byzantine_leaders(
+    count: int,
+    num_nodes: int,
+    behaviour: str = BYZ_EQUIVOCATE,
+    start_time: float = 0.0,
+    buckets: Sequence[BucketId] = (),
+    replay_factor: int = 3,
+) -> List[ByzantineSpec]:
+    """``count`` actively Byzantine nodes (victims counted down from the top,
+    like every other schedule builder).  ``buckets`` is required for the
+    censorship behaviour; each adversary censors the same bucket set so the
+    censored-latency metric has one well-defined target population."""
+    _check_count(count, num_nodes)
+    victims = [num_nodes - 1 - i for i in range(count)]
+    return [
+        ByzantineSpec(
+            node=v,
+            behaviour=behaviour,
+            start_time=start_time,
+            buckets=tuple(buckets),
+            replay_factor=replay_factor,
+        )
+        for v in victims
+    ]
+
+
+def censorship_targets(num_buckets: int, count: int = 4) -> List[BucketId]:
+    """A fixed, easy-to-reason-about censorship target set: the first
+    ``count`` buckets.  Rotation (Section 2.4) reassigns them to a
+    different leader every epoch, which is exactly what bounds the damage
+    a censoring leader can do."""
+    if not 0 < count <= num_buckets:
+        raise ValueError("count must be in (0, num_buckets]")
+    return list(range(count))
 
 
 def _check_count(count: int, num_nodes: int) -> None:

@@ -38,6 +38,10 @@ class TestReadmeBlocks:
         problems = doccheck.check_readme_blocks(REPO_ROOT / "README.md")
         assert not problems, "\n".join(problems)
 
+    def test_scenario_catalog_python_blocks_execute(self):
+        problems = doccheck.check_readme_blocks(REPO_ROOT / "docs" / "SCENARIOS.md")
+        assert not problems, "\n".join(problems)
+
     def test_block_extraction_finds_fenced_python(self):
         markdown = "text\n```python\nx = 1\n```\n```bash\nls\n```\n"
         blocks = doccheck.extract_python_blocks(markdown)

@@ -225,3 +225,35 @@ class TestRestartEdges:
         )
         assert deployment.storages == {}
         assert all(node.storage is None for node in deployment.nodes)
+
+
+class TestRecoveryWithDeadFirstResponder:
+    def test_recovery_succeeds_when_first_probed_peer_is_down(self):
+        """The staggered catch-up probe starts at the lowest-id peer; with
+        that peer permanently crashed, the escalation chain must still
+        recover the restarted node from the remaining peers."""
+        config = iss_config(PROTOCOL_PBFT, 5, random_seed=11)
+        deployment = Deployment(
+            config,
+            network_config=NetworkConfig(bandwidth_bps=SCALED_BANDWIDTH_BPS),
+            workload=WorkloadConfig(
+                num_clients=8, total_rate=800.0, duration=34.0,
+                payload_size=PAYLOAD_BYTES,
+            ),
+            crash_specs=[
+                # Node 0 (the restarted node's first probe target) stays down.
+                CrashSpec(node=0, trigger="at-time", time=2.0),
+                CrashSpec(node=2, trigger="at-time", time=10.0),
+            ],
+            restart_specs=[RestartSpec(node=2, time=20.0)],
+            recovery_poll=0.25,
+        )
+        result = deployment.run()
+        report = result.report
+        assert report.recoveries and report.recoveries[0]["time_to_caught_up"] >= 0.0
+        restarted = result.nodes[2]
+        # The dead first responder forced at least one escalation.
+        assert restarted.state_transfer.probe_escalations >= 1
+        reference = result.nodes[1]
+        assert delivered_prefix_matches(reference, restarted)
+        assert restarted.delivered_count() > 0

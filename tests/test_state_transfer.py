@@ -315,3 +315,117 @@ class TestStateTransferEdgeCases:
         assert transfer.handle_response(response, harness.logs[1])
         assert transfer.bytes_received == response.wire_size()
         assert transfer.entries_applied == harness.config.epoch_length
+
+
+class FakeTimer:
+    """Scheduler stub: remembers its callback and whether it was cancelled."""
+
+    def __init__(self, delay, callback):
+        self.delay = delay
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+    def fire(self):
+        if not self.cancelled:
+            self.callback()
+
+
+class StaggerHarness(Harness):
+    """Harness whose requester (node 1) gets a capturing fake scheduler."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.timers = []
+
+        def schedule(delay, callback):
+            timer = FakeTimer(delay, callback)
+            self.timers.append(timer)
+            return timer
+
+        self.transfers[1] = StateTransfer(
+            node_id=1,
+            config=self.config,
+            checkpoints=self.checkpoints[1],
+            send_fn=lambda dst, msg: self.sent.append((1, dst, msg)),
+            apply_entry_fn=lambda sn, entry, epoch: self.logs[1].commit(
+                sn, entry, epoch, now=0.0
+            ),
+            schedule_fn=schedule,
+            probe_stagger=2.0,
+        )
+
+
+class TestStaggeredEscalation:
+    """The duplicate-response trim: staggered, narrowing, never-cancelled."""
+
+    def test_ranged_request_asks_one_peer_and_schedules_the_rest(self):
+        harness = StaggerHarness()
+        harness.transfers[1].request_missing(0, 1, peers=[0, 2, 3])
+        # Exactly one immediate request...
+        assert [(src, dst) for src, dst, _ in harness.sent] == [(1, 0)]
+        # ...one escalation timer per remaining peer plus the expiry timer.
+        assert [t.delay for t in harness.timers] == [2.0, 4.0, 6.0]
+
+    def test_escalation_fires_when_nothing_arrived(self):
+        harness = StaggerHarness()
+        harness.transfers[1].request_missing(0, 1, peers=[0, 2, 3])
+        harness.sent.clear()
+        harness.timers[0].fire()  # first peer never answered
+        assert [(src, dst) for src, dst, _ in harness.sent] == [(1, 2)]
+        assert harness.transfers[1].probe_escalations == 1
+
+    def test_escalation_narrows_to_contiguous_missing_runs(self):
+        """Epoch 1 of [0, 2] already applied: the escalation ships two
+        requests ([0,0] and [2,2]) instead of re-spanning the gap."""
+        harness = StaggerHarness(epoch_length=2)
+        harness.transfers[1].request_missing(0, 2, peers=[0, 2])
+        harness.transfers[1]._in_flight.discard(1)  # epoch 1 arrived meanwhile
+        harness.sent.clear()
+        harness.timers[0].fire()
+        requests = [msg for _src, _dst, msg in harness.sent]
+        assert [(r.first_epoch, r.last_epoch) for r in requests] == [(0, 0), (2, 2)]
+
+    def test_escalation_noops_once_everything_applied(self):
+        harness = StaggerHarness()
+        harness.transfers[1].request_missing(0, 0, peers=[0, 2])
+        harness.transfers[1]._in_flight.discard(0)
+        harness.sent.clear()
+        harness.timers[0].fire()
+        assert harness.sent == []
+        assert harness.transfers[1].probe_escalations == 0
+
+    def test_open_ended_escalation_rebases_past_local_stable(self):
+        """A lagging first responder must not cap recovery: the next peer
+        is asked for everything past what was already obtained."""
+        harness = StaggerHarness()
+        harness.fill_epoch(1, epoch=0)
+        harness.make_stable(0, source_node=1)  # epoch 0 now locally stable
+        harness.transfers[1].request_latest(0, peers=[0, 2, 3])
+        harness.sent.clear()
+        harness.timers[0].fire()
+        (_src, dst, request), = harness.sent
+        assert dst == 2
+        assert (request.first_epoch, request.last_epoch) == (1, -1)
+
+    def test_expiry_releases_in_flight_for_future_triggers(self):
+        """A chain of dead responders cannot wedge catch-up: after the last
+        peer was asked the reservation expires and a later trigger retries."""
+        harness = StaggerHarness()
+        transfer = harness.transfers[1]
+        transfer.request_missing(0, 1, peers=[0, 2])
+        assert 0 in transfer._in_flight and 1 in transfer._in_flight
+        for timer in list(harness.timers):
+            timer.fire()  # escalation to peer 2, then expiry — nobody answered
+        assert 0 not in transfer._in_flight and 1 not in transfer._in_flight
+        harness.sent.clear()
+        transfer.request_missing(0, 1, peers=[0, 2])  # next trigger retries
+        assert len(harness.sent) == 1
+
+    def test_stop_cancels_outstanding_timers(self):
+        harness = StaggerHarness()
+        harness.transfers[1].request_missing(0, 1, peers=[0, 2, 3])
+        harness.transfers[1].stop()
+        assert all(timer.cancelled for timer in harness.timers)
