@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check perf-smoke recovery-smoke byzantine-smoke bench
+.PHONY: test docs-check perf-smoke recovery-smoke byzantine-smoke client-abuse-smoke bench
 
 # Tier-1 test suite (the CI gate; see ROADMAP.md).
 test:
@@ -30,6 +30,14 @@ recovery-smoke:
 # against tests/data/golden_trace_byzantine.json (see repro.byzantine_smoke).
 byzantine-smoke:
 	$(PYTHON) -m repro.byzantine_smoke
+
+# Seeded malicious-client scenario: correct clients must complete, abusive
+# submissions must be rejected+counted, nodes must stay prefix-identical,
+# and the run must replay deterministically against
+# tests/data/golden_trace_client_abuse.json (see repro.client_abuse_smoke).
+# Writes BENCH_client_abuse.json.
+client-abuse-smoke:
+	$(PYTHON) -m repro.client_abuse_smoke
 
 # Hot-path microbenchmarks (diagnose what perf-smoke flags).
 bench:

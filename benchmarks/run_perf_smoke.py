@@ -13,6 +13,11 @@ Runs, in order:
   correct nodes must stay prefix-identical, detect the attack, evict the
   adversary, and replay deterministically against the Byzantine golden
   trace,
+* ``python -m repro.client_abuse_smoke`` — seeded malicious-client
+  scenario; correct clients must complete, every abusive submission must
+  be rejected and counted, and the run must replay deterministically
+  against the client-abuse golden trace (writes
+  ``BENCH_client_abuse.json``),
 * ``python -m repro.doccheck`` — docstring audit + README and
   docs/SCENARIOS.md code-block execution.
 
@@ -30,6 +35,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.byzantine_smoke import main as byzantine_main  # noqa: E402
+from repro.client_abuse_smoke import main as client_abuse_main  # noqa: E402
 from repro.doccheck import main as doccheck_main  # noqa: E402
 from repro.perf_smoke import main as perf_main  # noqa: E402
 from repro.recovery_smoke import main as recovery_main  # noqa: E402
@@ -38,5 +44,12 @@ if __name__ == "__main__":
     perf_status = perf_main()
     recovery_status = recovery_main([])
     byzantine_status = byzantine_main([])
+    client_abuse_status = client_abuse_main([])
     doc_status = doccheck_main([])
-    sys.exit(perf_status or recovery_status or byzantine_status or doc_status)
+    sys.exit(
+        perf_status
+        or recovery_status
+        or byzantine_status
+        or client_abuse_status
+        or doc_status
+    )

@@ -40,11 +40,17 @@ from .sim.faults import (
     RestartSpec,
     StragglerSpec,
     ByzantineSpec,
+    MaliciousClientSpec,
     BYZ_EQUIVOCATE,
     BYZ_CENSOR,
     BYZ_INVALID_VOTES,
     BYZ_REPLAY,
+    CLIENT_WATERMARK_ABUSE,
+    CLIENT_DUPLICATE_FLOOD,
+    CLIENT_BUCKET_BIAS,
+    CLIENT_FORGED_SIGNATURE,
 )
+from .sim.client_adversary import AbusiveClient
 
 __version__ = "1.0.0"
 
@@ -78,9 +84,15 @@ __all__ = [
     "RestartSpec",
     "StragglerSpec",
     "ByzantineSpec",
+    "MaliciousClientSpec",
+    "AbusiveClient",
     "BYZ_EQUIVOCATE",
     "BYZ_CENSOR",
     "BYZ_INVALID_VOTES",
     "BYZ_REPLAY",
+    "CLIENT_WATERMARK_ABUSE",
+    "CLIENT_DUPLICATE_FLOOD",
+    "CLIENT_BUCKET_BIAS",
+    "CLIENT_FORGED_SIGNATURE",
     "__version__",
 ]

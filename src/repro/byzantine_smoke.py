@@ -32,7 +32,6 @@ from typing import Dict, Optional
 from . import golden
 from .core.config import NetworkConfig, WorkloadConfig, PROTOCOL_PBFT
 from .core.state_transfer import DEFAULT_PROBE_STAGGER
-from .core.types import is_nil
 from .harness.runner import Deployment
 from .harness.scenarios import (
     DEFAULT_FLUSH_INTERVAL,
@@ -101,10 +100,7 @@ def run_smoke() -> Dict[str, object]:
     specs = deployment.byzantine_specs
     correct = correct_nodes(result, specs)
     sample = correct[0]
-    trace = []
-    for sn in range(sample.log.first_undelivered):
-        entry = sample.log.entry(sn)
-        trace.append((sn, "nil" if is_nil(entry) else entry.digest().hex()))
+    trace = golden.delivered_trace(sample)
     final_leaders = sample.manager.leaders_for(sample.current_epoch)
     adversary = deployment.injector.adversary_for(SCENARIO["adversary"])
     return {

@@ -278,6 +278,27 @@ class BucketPool:
     def is_delivered(self, rid: RequestId) -> bool:
         return rid in self.delivered
 
+    def forget_delivered_below(self, client: int, old_low: int, new_low: int) -> int:
+        """Garbage-collect delivered request ids of ``client`` with timestamps
+        in ``[old_low, new_low)``.
+
+        Called at epoch transitions once the client's low watermark advanced
+        to ``new_low``: every timestamp below the watermark is outside the
+        client's window forever, so the validator rejects any resubmission
+        before it can reach the queues and the delivered filter no longer
+        needs to remember it.  The range is exactly the contiguous delivered
+        prefix the watermark slid over, so every id in it is expected to be
+        present.  Returns the number of entries dropped.
+        """
+        dropped = 0
+        delivered = self.delivered
+        for timestamp in range(old_low, new_low):
+            rid = RequestId(client=client, timestamp=timestamp)
+            if rid in delivered:
+                delivered.discard(rid)
+                dropped += 1
+        return dropped
+
     def resurrect(self, requests: Iterable[Request]) -> None:
         """Return unsuccessfully proposed requests to their queues
         (Algorithm 2, ``resurrectRequests``), skipping any that committed in

@@ -68,6 +68,15 @@ class Client:
         self.endpoint = client_endpoint(client_id)
         self._next_timestamp = 0
         self._pending: Dict[RequestId, _PendingRequest] = {}
+        #: Lowest timestamp not yet completed — the client-side mirror of the
+        #: node-side low watermark, which is anchored at the *contiguous*
+        #: delivered prefix.  Gating submission on this (rather than the
+        #: pending count) keeps every emitted timestamp inside the node-side
+        #: window even when completions land out of order.
+        self._lowest_uncompleted = 0
+        #: Completed timestamps above :attr:`_lowest_uncompleted` (the
+        #: out-of-order completion buffer; drained as the prefix advances).
+        self._completed_ahead: Set[int] = set()
         #: Latest quorum-confirmed bucket assignment and its epoch.
         self._assignment_epoch: Optional[EpochNr] = None
         self._assignment: Dict[BucketId, NodeId] = {}
@@ -93,6 +102,14 @@ class Client:
         self.requests_submitted += 1
         self._send_request(request)
         return request
+
+    def _track_pending(self, request: Request) -> None:
+        """Register a request built outside :meth:`submit` as pending (used
+        by misbehaving subclasses that craft their own request ids)."""
+        self._pending[request.rid] = _PendingRequest(
+            request=request, submitted_at=self.sim.now
+        )
+        self.requests_submitted += 1
 
     def _send_request(self, request: Request) -> None:
         targets = self._targets_for(request.rid)
@@ -152,11 +169,26 @@ class Client:
         if len(pending.responders) >= self.config.weak_quorum:
             pending.completed = True
             self.requests_completed += 1
+            self._note_completed(rid.timestamp)
             if self.on_complete is not None:
                 self.on_complete(
                     self.client_id, pending.request, pending.submitted_at, self.sim.now
                 )
             del self._pending[rid]
+            self._on_request_completed(pending.request)
+
+    def _note_completed(self, timestamp: int) -> None:
+        """Advance the contiguous-completion prefix over ``timestamp``."""
+        self._completed_ahead.add(timestamp)
+        lowest = self._lowest_uncompleted
+        completed = self._completed_ahead
+        while lowest in completed:
+            completed.discard(lowest)
+            lowest += 1
+        self._lowest_uncompleted = lowest
+
+    def _on_request_completed(self, request: Request) -> None:
+        """Hook fired after a request completes (subclass extension point)."""
 
     def _on_assignment(self, src: NodeId, message: BucketAssignmentMsg) -> None:
         if self._assignment_epoch is not None and message.epoch <= self._assignment_epoch:
@@ -184,6 +216,28 @@ class Client:
         return len(self._pending)
 
     def outstanding_within_watermarks(self) -> bool:
-        """Whether the client may submit another request without exceeding its
-        watermark window (approximated client-side by the pending count)."""
-        return len(self._pending) < self.config.client_watermark_window
+        """Whether the client may submit another request without leaving its
+        watermark window.
+
+        The node-side window is ``[low, low + window)`` with ``low`` anchored
+        at the *contiguous* delivered prefix of the client's timestamps, so
+        the client gates on its own contiguous-completion prefix: the next
+        timestamp must stay below ``lowest_uncompleted + window``.  Gating on
+        the pending count instead (the previous approximation) undercounts
+        the outstanding *span* when completions land out of order — one stuck
+        request plus a stream of newer completions let the client emit
+        timestamps beyond every node's window, and with no resubmission path
+        on rejection those requests wedge until the next epoch's bucket
+        reassignment (or forever, if the assignment never changes).
+
+        The gate is an approximation in one direction only: the node-side
+        ``low`` trails this client-side prefix by at most the completions of
+        the current epoch (it advances only at epoch transitions), so the
+        overshoot is bounded by one epoch of progress and healed by the
+        epoch-driven resubmission — unlike the pending-count gate, whose
+        overshoot was unbounded.
+        """
+        return (
+            self._next_timestamp
+            < self._lowest_uncompleted + self.config.client_watermark_window
+        )

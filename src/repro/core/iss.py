@@ -178,6 +178,13 @@ class ISSNode:
         self.equivocations_detected = 0
         #: Forged protocol votes rejected by this node's SB instances.
         self.invalid_votes_rejected = 0
+        #: Duplicate submissions absorbed per client (re-transmissions of
+        #: delivered or already-pending requests; abusive flooders inflate
+        #: this, honest epoch-driven resubmission contributes too).
+        self.duplicate_requests: Dict[int, int] = {}
+        #: Delivered-filter / verification-cache entries garbage collected
+        #: below advanced client watermarks (see :meth:`_gc_client_state`).
+        self.client_state_gc_entries = 0
 
         network.register(node_id, self.on_message)
 
@@ -262,13 +269,29 @@ class ISSNode:
     # ======================================================== client requests
     def _handle_client_request(self, request: Request) -> bool:
         self.requests_received += 1
-        if self.buckets.is_delivered(request.rid):
+        rid = request.rid
+        if self.buckets.is_delivered(rid):
             # Re-transmission of an already delivered request: re-acknowledge.
-            self._send_client_response(request.rid, -1)
+            self._note_duplicate(rid.client)
+            self._send_client_response(rid, -1)
+            return False
+        if rid.timestamp < self.watermarks.low_watermark(rid.client):
+            # Below the low watermark the request was necessarily delivered
+            # (the watermark only advances over the contiguous delivered
+            # prefix) and its delivered-filter entry has been garbage
+            # collected — re-acknowledge exactly like the branch above.
+            self._note_duplicate(rid.client)
+            self._send_client_response(rid, -1)
             return False
         if not self.validator.is_valid(request):
             return False
-        return self.buckets.add_request(request)
+        if self.buckets.add_request(request):
+            return True
+        self._note_duplicate(rid.client)
+        return False
+
+    def _note_duplicate(self, client: int) -> None:
+        self.duplicate_requests[client] = self.duplicate_requests.get(client, 0) + 1
 
     def _send_client_response(self, rid, sn: int) -> None:
         """Acknowledge a single request (used for re-transmission re-acks)."""
@@ -517,9 +540,38 @@ class ISSNode:
             finished = self.current_epoch
             self.manager.finish_epoch(finished, self.log)
             self.checkpoints.local_epoch_complete(finished, self.log)
-            self.watermarks.advance_epoch()
+            self.advance_client_watermarks()
             self.epochs_completed += 1
             self._start_epoch(finished + 1)
+
+    def advance_client_watermarks(self) -> None:
+        """One epoch transition's worth of Section 3.7 client bookkeeping:
+        advance every client's watermark window and garbage-collect the
+        per-client state the advance makes unreachable.  Called on live
+        epoch transitions here and by the recovery fast-forward
+        (:class:`~repro.storage.recovery.RecoveryManager`) — the pairing is
+        a contract; advancing without collecting reintroduces unbounded
+        delivered-filter growth."""
+        advanced = self.watermarks.advance_epoch()
+        if advanced:
+            self._gc_client_state(advanced)
+
+    def _gc_client_state(self, advanced) -> None:
+        """Garbage-collect per-client state below advanced low watermarks.
+
+        ``advanced`` is the ``(client, old_low, new_low)`` list returned by
+        :meth:`ClientWatermarks.advance_epoch`.  Timestamps below the new
+        watermark can never be validly resubmitted (the validator rejects
+        them before they reach any queue, and re-transmissions are
+        re-acknowledged from the watermark itself), so the delivered filter
+        and the signature-verification cache no longer need to remember
+        them — without this both grow linearly for the lifetime of a run.
+        """
+        dropped = 0
+        for client, old_low, new_low in advanced:
+            dropped += self.buckets.forget_delivered_below(client, old_low, new_low)
+            dropped += self.validator.forget_below(client, old_low, new_low)
+        self.client_state_gc_entries += dropped
 
     # ============================================================ checkpointing
     def _on_stable_checkpoint(self, epoch: EpochNr, certificate) -> None:

@@ -6,15 +6,32 @@ client's current watermark window.  Watermark windows bound how many requests
 a client can have in flight, which in turn bounds how much a malicious client
 can bias the request-to-bucket distribution; ISS advances the windows at
 epoch transitions.
+
+The watermark window is also what makes per-node client state *collectable*:
+once a client's low watermark passes a timestamp, no request with that
+timestamp can ever be validly resubmitted, so the delivered filters and
+verification caches holding it can be dropped
+(see :meth:`repro.core.iss.ISSNode._gc_client_state`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Set
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..crypto.signatures import KeyStore
-from .types import ClientId, Request
+from .types import ClientId, Request, RequestId
+
+#: Rejection reasons tracked per client (see :class:`ValidationStats`).
+REJECT_BAD_SIGNATURE = "bad_signature"
+REJECT_UNKNOWN_CLIENT = "unknown_client"
+REJECT_OUTSIDE_WATERMARKS = "outside_watermarks"
+
+REJECTION_REASONS = (
+    REJECT_BAD_SIGNATURE,
+    REJECT_UNKNOWN_CLIENT,
+    REJECT_OUTSIDE_WATERMARKS,
+)
 
 
 def request_signing_payload(request: Request) -> bytes:
@@ -41,6 +58,13 @@ class ClientWatermarks:
     *contiguously delivered* timestamp prefix: everything below ``low`` has
     been delivered, so sliding the window there never invalidates an
     in-flight request while still bounding how far ahead a client can run.
+
+    Memory stays bounded even against abusive gap-leaving clients: the
+    out-of-order buffer of one client can never exceed its window (the
+    window itself rejects anything further out), per-client sets are
+    dropped the moment the prefix catches up, and
+    :meth:`advance_epoch` prunes anything a replayed delivery could have
+    left below the advanced watermark.
     """
 
     def __init__(self, window: int):
@@ -50,7 +74,8 @@ class ClientWatermarks:
         self._low: Dict[ClientId, int] = {}
         #: Next timestamp still missing from the contiguous delivered prefix.
         self._prefix: Dict[ClientId, int] = {}
-        #: Delivered timestamps above the prefix (pruned as the prefix grows).
+        #: Delivered timestamps above the prefix (pruned as the prefix grows;
+        #: entries exist only for clients that currently have a gap).
         self._out_of_order: Dict[ClientId, set] = {}
 
     def low_watermark(self, client: ClientId) -> int:
@@ -65,34 +90,92 @@ class ClientWatermarks:
         prefix = self._prefix.get(client, 0)
         if timestamp < prefix:
             return
+        if timestamp == prefix:
+            # Common case (clients use contiguous timestamps): advance the
+            # prefix straight through any buffered out-of-order deliveries
+            # without ever materialising a set for purely in-order clients.
+            prefix += 1
+            pending = self._out_of_order.get(client)
+            if pending:
+                while prefix in pending:
+                    pending.discard(prefix)
+                    prefix += 1
+                if not pending:
+                    # The prefix caught up: keep no empty set behind for
+                    # clients that go quiet.
+                    del self._out_of_order[client]
+            self._prefix[client] = prefix
+            return
         pending = self._out_of_order.get(client)
         if pending is None:
             pending = self._out_of_order[client] = set()
         pending.add(timestamp)
-        if timestamp == prefix:
-            while prefix in pending:
-                pending.discard(prefix)
-                prefix += 1
-            self._prefix[client] = prefix
 
-    def advance_epoch(self) -> None:
-        """Advance every client's window at an epoch transition."""
+    def advance_epoch(self) -> List[Tuple[ClientId, int, int]]:
+        """Advance every client's window at an epoch transition.
+
+        Returns the ``(client, old_low, new_low)`` triple of every window
+        that moved — exactly the timestamp ranges whose requests can never
+        be validly resubmitted again, which is what drives the per-client
+        state garbage collection in the ISS node.
+        """
+        advanced: List[Tuple[ClientId, int, int]] = []
         for client, prefix in self._prefix.items():
-            self._low[client] = max(self._low.get(client, 0), prefix)
+            old = self._low.get(client, 0)
+            if prefix <= old:
+                continue
+            self._low[client] = prefix
+            advanced.append((client, old, prefix))
+            # Defensive prune: deliveries replayed out of order (recovery,
+            # state transfer) must never strand timestamps at or below the
+            # advanced watermark in the out-of-order buffer.
+            pending = self._out_of_order.get(client)
+            if pending:
+                stale = [ts for ts in pending if ts < prefix]
+                for ts in stale:
+                    pending.discard(ts)
+                if not pending:
+                    del self._out_of_order[client]
+        return advanced
+
+    # ------------------------------------------------------------ inspection
+    def out_of_order_entries(self) -> int:
+        """Total buffered out-of-order timestamps across all clients (the
+        node-memory figure abusive gap-leavers try to inflate)."""
+        return sum(len(pending) for pending in self._out_of_order.values())
+
+    def tracked_gap_clients(self) -> int:
+        """Number of clients currently holding an out-of-order buffer."""
+        return len(self._out_of_order)
 
 
 @dataclass
 class ValidationStats:
-    """Counts of accepted / rejected requests, per rejection reason."""
+    """Counts of accepted / rejected requests, per rejection reason.
+
+    ``by_client`` attributes every rejection to the client identity the
+    request *claims* (for forged signatures that is the impersonated victim
+    — the only identity a node can observe); it is only touched on
+    rejection, so honest-path validation stays counter increments.
+    """
 
     accepted: int = 0
     bad_signature: int = 0
     unknown_client: int = 0
     outside_watermarks: int = 0
+    #: Rejections per claimed client identity, per reason.
+    by_client: Dict[ClientId, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def rejected(self) -> int:
         return self.bad_signature + self.unknown_client + self.outside_watermarks
+
+    def note_rejection(self, client: ClientId, reason: str) -> None:
+        """Attribute one rejection of ``reason`` to ``client``."""
+        per = self.by_client.get(client)
+        if per is None:
+            per = self.by_client[client] = dict.fromkeys(REJECTION_REASONS, 0)
+        per[reason] += 1
 
 
 class RequestValidator:
@@ -113,9 +196,11 @@ class RequestValidator:
         #: Requests whose signature this node already verified (a node sees
         #: the same request on reception and again inside proposals; the
         #: crypto result cannot change, so re-verification is skipped).
-        #: Keyed by the Request object — its hash covers (rid, payload) and is
-        #: cached on the instance, so a hit costs one set probe.
-        self._verified: Set[Request] = set()
+        #: Keyed by request id so entries below a client's advanced low
+        #: watermark can be garbage collected (:meth:`forget_below`); the
+        #: stored Request is compared on lookup, so a different payload or
+        #: signature under a reused id still re-verifies.
+        self._verified: Dict[RequestId, Request] = {}
 
     def add_client(self, client: ClientId) -> None:
         self.known_clients.add(client)
@@ -125,12 +210,15 @@ class RequestValidator:
         rid = request.rid
         if rid.client not in self.known_clients:
             self.stats.unknown_client += 1
+            self.stats.note_rejection(rid.client, REJECT_UNKNOWN_CLIENT)
             return False
         if not self.watermarks.in_window(rid.client, rid.timestamp):
             self.stats.outside_watermarks += 1
+            self.stats.note_rejection(rid.client, REJECT_OUTSIDE_WATERMARKS)
             return False
         if self.verify_signatures:
-            if request not in self._verified:
+            cached = self._verified.get(rid)
+            if cached is not request and cached != request:
                 # Shared O(1) re-verification: the key store memoizes the
                 # outcome by (identity, digest, signature), so only the first
                 # validator in the deployment pays for the HMAC.
@@ -141,7 +229,24 @@ class RequestValidator:
                     lambda: request_signing_payload(request),
                 ):
                     self.stats.bad_signature += 1
+                    self.stats.note_rejection(rid.client, REJECT_BAD_SIGNATURE)
                     return False
-                self._verified.add(request)
+                self._verified[rid] = request
         self.stats.accepted += 1
         return True
+
+    def forget_below(self, client: ClientId, old_low: int, new_low: int) -> int:
+        """Drop verification cache entries for ``client`` timestamps in
+        ``[old_low, new_low)`` — below the advanced low watermark they can
+        never be validly resubmitted, so caching them is pure retention.
+        Returns the number of entries dropped."""
+        dropped = 0
+        verified = self._verified
+        for timestamp in range(old_low, new_low):
+            if verified.pop(RequestId(client=client, timestamp=timestamp), None) is not None:
+                dropped += 1
+        return dropped
+
+    def verified_cache_size(self) -> int:
+        """Entries currently held by the signature-verification cache."""
+        return len(self._verified)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 def check_against_golden(
@@ -55,3 +55,19 @@ def check_against_golden(
 def write_golden(figures: Dict[str, object], path: Path) -> None:
     """Record ``figures`` as the new golden trace at ``path``."""
     path.write_text(json.dumps(figures, indent=2) + "\n")
+
+
+def delivered_trace(node) -> List[Tuple[int, str]]:
+    """A node's delivered sequence as ``(sn, entry-digest-hex | "nil")``.
+
+    The canonical shape every smoke gate digests into its ``trace_sha256``
+    pin (``sha256(repr(trace))``) — owned here so the gates cannot drift
+    into measuring different things.
+    """
+    from .core.types import is_nil  # deferred: keep this module dependency-light
+
+    trace: List[Tuple[int, str]] = []
+    for sn in range(node.log.first_undelivered):
+        entry = node.log.entry(sn)
+        trace.append((sn, "nil" if is_nil(entry) else entry.digest().hex()))
+    return trace

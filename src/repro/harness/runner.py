@@ -31,14 +31,17 @@ from ..core.config import ISSConfig, NetworkConfig, WorkloadConfig
 from ..core.iss import ISSNode
 from ..core.leader_policy import LeaderSelectionPolicy
 from ..core.segment import LAYOUT_ROUND_ROBIN
+from ..core.validation import REJECTION_REASONS
 from ..crypto.signatures import KeyStore
 from ..core.state_transfer import probe_stagger_interval
 from ..metrics.collector import MetricsCollector, RunReport
+from ..sim.client_adversary import AbusiveClient
 from ..sim.faults import (
     BYZ_CENSOR,
     ByzantineSpec,
     CrashSpec,
     FaultInjector,
+    MaliciousClientSpec,
     RestartSpec,
     StragglerSpec,
 )
@@ -99,6 +102,7 @@ class Deployment:
         straggler_specs: Sequence[StragglerSpec] = (),
         restart_specs: Sequence[RestartSpec] = (),
         byzantine_specs: Sequence[ByzantineSpec] = (),
+        malicious_client_specs: Sequence[MaliciousClientSpec] = (),
         durable_storage: Optional[bool] = None,
         recovery_poll: Optional[float] = None,
         probe_stagger: Optional[float] = None,
@@ -114,6 +118,7 @@ class Deployment:
         self.straggler_specs = list(straggler_specs)
         self.restart_specs = list(restart_specs)
         self.byzantine_specs = list(byzantine_specs)
+        self.malicious_client_specs = list(malicious_client_specs)
         self.policy_factory = policy_factory
         self.node_class = node_class
         self.layout = layout
@@ -182,10 +187,24 @@ class Deployment:
         self.injector.schedule_all(self.crash_specs)
         self.injector.schedule_restarts(self.restart_specs)
         self.injector.schedule_byzantines(self.byzantine_specs)
+        self.injector.schedule_malicious_clients(self.malicious_client_specs)
 
+        malicious_by_client: Dict[int, MaliciousClientSpec] = {}
+        for spec in self.malicious_client_specs:
+            if spec.client not in client_ids:
+                raise ValueError(
+                    f"malicious client {spec.client} outside the workload's "
+                    f"{len(client_ids)} clients"
+                )
+            if spec.client in malicious_by_client:
+                raise ValueError(
+                    f"client {spec.client} has more than one malicious spec; "
+                    f"a client process mounts exactly one behaviour"
+                )
+            malicious_by_client[spec.client] = spec
         self.clients: List[Client] = []
         for client_id in client_ids:
-            client = Client(
+            common = dict(
                 client_id=client_id,
                 config=config,
                 sim=self.sim,
@@ -193,6 +212,12 @@ class Deployment:
                 key_store=self.key_store,
                 on_complete=self.collector.record_client_completion,
             )
+            spec = malicious_by_client.get(client_id)
+            if spec is not None:
+                client = AbusiveClient(spec=spec, **common)
+                self.injector.register_abusive_client(client)
+            else:
+                client = Client(**common)
             self.clients.append(client)
         self.latency.register_extra_endpoints([c.endpoint for c in self.clients])
 
@@ -329,6 +354,7 @@ class Deployment:
             duration=self.workload.duration,
             extra=self._extra_stats(),
             byzantine=self._byzantine_stats(),
+            client_abuse=self._client_abuse_stats(),
         )
         return DeploymentResult(
             report=report,
@@ -363,6 +389,49 @@ class Deployment:
             },
         }
 
+    def _client_abuse_stats(self) -> Optional[Dict[str, object]]:
+        """Per-client abuse counters for runs with malicious clients (else
+        None).
+
+        ``per_client`` aggregates, across every *current node incarnation*,
+        the rejections attributed to each claimed client identity (forged
+        signatures count under the impersonated victim — the only identity a
+        node can observe) plus the duplicate submissions absorbed for it;
+        ``abusers`` carries each abusive client's own attack counters and
+        ``adversaries`` maps client id → behaviour.
+        """
+        if not self.malicious_client_specs:
+            return None
+        per_client: Dict[int, Dict[str, int]] = {}
+
+        def entry_for(client: int) -> Dict[str, int]:
+            entry = per_client.get(client)
+            if entry is None:
+                entry = per_client[client] = dict.fromkeys(
+                    (*REJECTION_REASONS, "duplicates"), 0
+                )
+            return entry
+
+        for node in self.nodes:
+            for client, reasons in node.validator.stats.by_client.items():
+                entry = entry_for(client)
+                for reason, count in reasons.items():
+                    entry[reason] += count
+            for client, count in node.duplicate_requests.items():
+                entry_for(client)["duplicates"] += count
+        abusers = {}
+        for spec in self.malicious_client_specs:
+            client = self.injector.abusive_client_for(spec.client)
+            if client is not None:
+                abusers[spec.client] = client.abuse_stats()
+        return {
+            "adversaries": {
+                spec.client: spec.behaviour for spec in self.malicious_client_specs
+            },
+            "per_client": per_client,
+            "abusers": abusers,
+        }
+
     def _extra_stats(self) -> Dict[str, float]:
         alive = [n for n in self.nodes if not n.crashed]
         sample = alive[0] if alive else self.nodes[0]
@@ -385,6 +454,16 @@ class Deployment:
             )
             stats["invalid_sigs_rejected_total"] = float(
                 sum(n.invalid_signatures_rejected() for n in self.nodes)
+            )
+        if self.malicious_client_specs:
+            stats["client_rejections_total"] = float(
+                sum(n.validator.stats.rejected for n in self.nodes)
+            )
+            stats["client_duplicates_total"] = float(
+                sum(sum(n.duplicate_requests.values()) for n in self.nodes)
+            )
+            stats["client_state_gc_entries_total"] = float(
+                sum(n.client_state_gc_entries for n in self.nodes)
             )
         if self.storages:
             stats["wal_appended_total"] = float(

@@ -32,17 +32,25 @@ from ..core.config import (
 )
 from ..core.segment import LAYOUT_CONTIGUOUS, LAYOUT_ROUND_ROBIN
 from ..metrics.collector import RunReport
+from ..sim.client_adversary import bias_capacity
 from ..sim.faults import (
     BYZ_CENSOR,
     BYZ_EQUIVOCATE,
     BYZ_INVALID_VOTES,
     BYZ_REPLAY,
+    CLIENT_BUCKET_BIAS,
+    CLIENT_DUPLICATE_FLOOD,
+    CLIENT_FORGED_SIGNATURE,
+    CLIENT_WATERMARK_ABUSE,
+    MALICIOUS_CLIENT_BEHAVIOURS,
     ByzantineSpec,
     CrashSpec,
+    MaliciousClientSpec,
     RestartSpec,
     StragglerSpec,
 )
 from ..workload.faults import (
+    abusive_clients,
     byzantine_leaders,
     censorship_targets,
     epoch_end_crashes,
@@ -104,6 +112,26 @@ def bench_flush_interval() -> float:
     except ValueError:
         return DEFAULT_FLUSH_INTERVAL
     return max(0.0, value)
+
+
+#: Default maximum abusive-client count swept by the client-abuse figure
+#: benchmark (``REPRO_ABUSE_CLIENTS`` raises/lowers it).
+DEFAULT_ABUSE_CLIENTS = 2
+
+
+def abuse_client_count() -> int:
+    """Largest abusive-client count swept by ``bench_client_abuse.py`` (env
+    var ``REPRO_ABUSE_CLIENTS``).
+
+    Clamped to ≥ 1 so the benchmark always exercises at least one attacker;
+    unparseable values fall back to :data:`DEFAULT_ABUSE_CLIENTS`.
+    """
+    try:
+        return max(
+            1, int(os.environ.get("REPRO_ABUSE_CLIENTS", str(DEFAULT_ABUSE_CLIENTS)))
+        )
+    except ValueError:
+        return DEFAULT_ABUSE_CLIENTS
 
 
 def scaled_network() -> NetworkConfig:
@@ -765,6 +793,263 @@ def censorship_rotation(
         row["censored_latency_mean"] / row["latency_mean"] if row["latency_mean"] else 1.0
     )
     return row
+
+
+# ---------------------------------------------------------------------------
+# Malicious-client scenarios — the Section 3.7 defences under actual attack
+# ---------------------------------------------------------------------------
+
+#: Watermark window used by the client-abuse scenarios: small enough that
+#: watermark dynamics (gap stalls, bias wedging) bite within seconds of
+#: virtual time, large enough that correct clients never brush against it.
+CLIENT_ABUSE_WINDOW = 4096
+
+
+def client_abuse_point(
+    protocol: str,
+    behaviour: str = CLIENT_WATERMARK_ABUSE,
+    num_abusive: int = 1,
+    num_nodes: int = 4,
+    num_clients: int = 8,
+    rate: float = 400.0,
+    duration: float = 10.0,
+    window: int = CLIENT_ABUSE_WINDOW,
+    flood_factor: int = 3,
+    seed: int = 42,
+    drain_time: float = 10.0,
+    flush_interval: Optional[float] = None,
+) -> Dict[str, object]:
+    """One run under ``num_abusive`` malicious clients.
+
+    The row combines throughput/latency with the defence checks: every
+    correct client's requests complete, delivered prefixes stay identical
+    across all nodes, each abusive submission class is rejected-and-counted
+    (``RunReport.client_abuse``), and node memory stays bounded (watermark
+    out-of-order buffers, delivered filter after GC).  ``behaviour`` is one
+    of :data:`~repro.sim.faults.MALICIOUS_CLIENT_BEHAVIOURS`.
+    """
+    config = iss_config(
+        protocol,
+        num_nodes,
+        random_seed=seed,
+        client_watermark_window=window,
+        send_client_responses=True,
+    )
+    if behaviour == CLIENT_FORGED_SIGNATURE and not config.client_signatures:
+        # Without client signatures (Raft's CFT configuration) identity
+        # forgery is trivially possible and outside the fault model — the
+        # "attack" would be accepted and prove nothing about the defence.
+        raise ValueError(
+            f"forged-signature abuse needs client signatures, which the "
+            f"{protocol!r} configuration disables"
+        )
+    specs = abusive_clients(
+        num_abusive, num_clients, behaviour=behaviour, flood_factor=flood_factor
+    )
+    network = scaled_network()
+    if flush_interval is not None:
+        network.batch_flush_interval = flush_interval
+    deployment = Deployment(
+        config,
+        network_config=network,
+        workload=_workload(rate, duration, clients=num_clients),
+        malicious_client_specs=specs,
+        drain_time=drain_time,
+    )
+    result = deployment.run()
+    report = result.report
+    abusive_ids = {spec.client for spec in specs}
+    correct_clients = [c for c in result.clients if c.client_id not in abusive_ids]
+    abuse = report.client_abuse
+    per_client = abuse.get("per_client", {})
+    abusers = abuse.get("abusers", {})
+
+    def rejections(client_id: int, reason: str) -> int:
+        return per_client.get(client_id, {}).get(reason, 0)
+
+    # Every protocol-violating submission class must be rejected and counted
+    # at the nodes: far-out timestamps and post-wedge bias as watermark
+    # rejections, forgeries as signature rejections (attributed to the
+    # claimed victim), flood copies as absorbed duplicates.
+    abuse_contained = True
+    for spec in specs:
+        stats = abusers.get(spec.client, {})
+        if spec.behaviour == CLIENT_WATERMARK_ABUSE:
+            abuse_contained &= rejections(
+                spec.client, "outside_watermarks"
+            ) >= stats.get("out_of_window_sent", 0) > 0
+        elif spec.behaviour == CLIENT_DUPLICATE_FLOOD:
+            abuse_contained &= (
+                0 < stats.get("duplicates_sent", 0)
+                and rejections(spec.client, "duplicates") > 0
+            )
+        elif spec.behaviour == CLIENT_FORGED_SIGNATURE:
+            abuse_contained &= rejections(
+                spec.victim, "bad_signature"
+            ) >= stats.get("forged_sent", 0) > 0
+        elif spec.behaviour == CLIENT_BUCKET_BIAS:
+            # The c||t hash leaves timestamp-skipping as the only lever, and
+            # the window wedges that after ~window/|B| accepted ids (the
+            # exact per-(client, target) figure from bias_capacity).
+            abuse_contained &= 0 < stats.get("biased_sent", 0) and stats.get(
+                "requests_completed", 0
+            ) <= bias_capacity(
+                spec.client, spec.target_bucket, window, config.num_buckets
+            )
+    return {
+        "protocol": protocol,
+        "behaviour": behaviour if num_abusive else "none",
+        "abusive": num_abusive,
+        "throughput": report.throughput,
+        "latency_mean": report.latency.mean,
+        "latency_p95": report.latency.p95,
+        "correct_submitted": sum(c.requests_submitted for c in correct_clients),
+        "correct_completed": sum(c.requests_completed for c in correct_clients),
+        "correct_all_complete": all(
+            c.requests_completed == c.requests_submitted for c in correct_clients
+        ),
+        "prefixes_identical": prefixes_identical(result.nodes),
+        "abuse_contained": abuse_contained,
+        "rejections_total": report.extra.get("client_rejections_total", 0.0),
+        "duplicates_total": report.extra.get("client_duplicates_total", 0.0),
+        "gc_entries_total": report.extra.get("client_state_gc_entries_total", 0.0),
+        "out_of_order_max": max(
+            node.watermarks.out_of_order_entries() for node in result.nodes
+        ),
+        "delivered_filter_max": max(
+            len(node.buckets.delivered) for node in result.nodes
+        ),
+        "client_abuse": abuse,
+    }
+
+
+def client_abuse_sweep(
+    protocol: str = PROTOCOL_PBFT,
+    behaviours: Sequence[str] = MALICIOUS_CLIENT_BEHAVIOURS,
+    abusive_counts: Sequence[int] = (0, 1, 2),
+    num_nodes: int = 4,
+    num_clients: int = 8,
+    rate: float = 400.0,
+    duration: float = 10.0,
+    flush_interval: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Correct-client throughput/latency as the abusive-client count grows.
+
+    A single zero-abuser row gives the clean baseline (behaviour-independent,
+    so it runs once); each behaviour then sweeps the attacked counts.  The
+    malicious-client analogue of :func:`byzantine_leader_sweep` — and like
+    it, behaviours outside a configuration's fault model are skipped:
+    forged signatures are only meaningful when the protocol's clients sign
+    (Raft's CFT configuration does not).
+    """
+    rows: List[Dict[str, object]] = []
+    signatures_on = iss_config(protocol, num_nodes).client_signatures
+    behaviours = [
+        behaviour
+        for behaviour in behaviours
+        if signatures_on or behaviour != CLIENT_FORGED_SIGNATURE
+    ]
+    attacked_counts = [count for count in abusive_counts if count > 0]
+    if 0 in abusive_counts:
+        rows.append(
+            client_abuse_point(
+                protocol,
+                behaviour=CLIENT_WATERMARK_ABUSE,  # irrelevant: zero abusers
+                num_abusive=0,
+                num_nodes=num_nodes,
+                num_clients=num_clients,
+                rate=rate,
+                duration=duration,
+                flush_interval=flush_interval,
+            )
+        )
+    for behaviour in behaviours:
+        for count in attacked_counts:
+            rows.append(
+                client_abuse_point(
+                    protocol,
+                    behaviour=behaviour,
+                    num_abusive=count,
+                    num_nodes=num_nodes,
+                    num_clients=num_clients,
+                    rate=rate,
+                    duration=duration,
+                    flush_interval=flush_interval,
+                )
+            )
+    return rows
+
+
+def watermark_stall(
+    num_nodes: int = 4,
+    num_clients: int = 6,
+    rate: float = 300.0,
+    duration: float = 10.0,
+    window: int = 256,
+    seed: int = 42,
+    drain_time: float = 10.0,
+) -> Dict[str, object]:
+    """A gap-leaving client tries to wedge the watermark machinery.
+
+    One abusive client alternates far-out timestamps with deliberate gaps,
+    so its contiguous-prefix low watermark can never advance.  The row shows
+    the defence working end to end: the abuser's window stalls (bounding its
+    in-flight requests by ``window``), correct clients' watermarks keep
+    advancing and their requests all complete, and node memory stays bounded
+    (out-of-order buffers capped by the window, delivered filters garbage
+    collected below the advanced watermarks).
+    """
+    config = iss_config(
+        PROTOCOL_PBFT,
+        num_nodes,
+        random_seed=seed,
+        client_watermark_window=window,
+        send_client_responses=True,
+    )
+    abuser = num_clients - 1
+    specs = [MaliciousClientSpec(client=abuser, behaviour=CLIENT_WATERMARK_ABUSE)]
+    deployment = Deployment(
+        config,
+        network_config=scaled_network(),
+        workload=_workload(rate, duration, clients=num_clients),
+        malicious_client_specs=specs,
+        drain_time=drain_time,
+    )
+    result = deployment.run()
+    report = result.report
+    correct_clients = [c for c in result.clients if c.client_id != abuser]
+    sample = result.nodes[0]
+    abusive_stats = report.client_abuse["abusers"][abuser]
+    return {
+        "abuser": abuser,
+        "window": window,
+        "throughput": report.throughput,
+        "latency_mean": report.latency.mean,
+        "correct_all_complete": all(
+            c.requests_completed == c.requests_submitted for c in correct_clients
+        ),
+        "prefixes_identical": prefixes_identical(result.nodes),
+        #: The gap pins the abuser's low watermark at (or before) the first
+        #: skipped timestamp — it must never clear the window.
+        "abuser_low_watermark": sample.watermarks.low_watermark(abuser),
+        "abuser_stalled": sample.watermarks.low_watermark(abuser) < window,
+        "correct_lows_advanced": all(
+            sample.watermarks.low_watermark(c.client_id) > 0 for c in correct_clients
+        ),
+        "gaps_left": abusive_stats["gaps_left"],
+        "out_of_window_sent": abusive_stats["out_of_window_sent"],
+        "out_of_order_max": max(
+            node.watermarks.out_of_order_entries() for node in result.nodes
+        ),
+        "out_of_order_bounded": all(
+            node.watermarks.out_of_order_entries() <= window * len(result.clients)
+            for node in result.nodes
+        ),
+        "gc_entries_total": report.extra.get("client_state_gc_entries_total", 0.0),
+        "delivered_filter_max": max(
+            len(node.buckets.delivered) for node in result.nodes
+        ),
+    }
 
 
 def epoch_length_ablation(

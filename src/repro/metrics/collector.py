@@ -77,6 +77,13 @@ class RunReport:
     #: ``censored`` summarises delivery of requests in censored buckets
     #: (buckets, submitted, completed, latency: LatencySummary).
     byzantine: Dict[str, object] = field(default_factory=dict)
+    #: Malicious-client diagnostics, empty for runs without abusive clients:
+    #: ``adversaries`` maps client → behaviour, ``per_client`` maps the
+    #: *claimed* client identity → cross-node rejection/duplicate counters
+    #: (bad_signature, outside_watermarks, unknown_client, duplicates), and
+    #: ``abusers`` carries each abusive client's own attack counters (see
+    #: :meth:`repro.sim.client_adversary.AbusiveClient.abuse_stats`).
+    client_abuse: Dict[str, object] = field(default_factory=dict)
 
 
 class MetricsCollector:
@@ -198,10 +205,12 @@ class MetricsCollector:
         duration: float,
         extra: Optional[Dict[str, float]] = None,
         byzantine: Optional[Dict[str, object]] = None,
+        client_abuse: Optional[Dict[str, object]] = None,
     ) -> RunReport:
         """Summarise the run; ``byzantine`` carries the harness's per-node
         misbehaviour counters and is merged with the collector's own
-        censored-bucket figures."""
+        censored-bucket figures, ``client_abuse`` the per-client abuse
+        counters of runs with malicious clients."""
         measured = max(1e-9, duration - self.warmup)
         completed = len(self._latencies)
         byz: Dict[str, object] = dict(byzantine or {})
@@ -222,4 +231,5 @@ class MetricsCollector:
             extra=dict(extra or {}),
             recoveries=[dict(r) for r in self._recoveries],
             byzantine=byz,
+            client_abuse=dict(client_abuse or {}),
         )

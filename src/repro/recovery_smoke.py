@@ -28,12 +28,11 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from . import golden
 from .core.config import ISSConfig, NetworkConfig, WorkloadConfig, PROTOCOL_PBFT
 from .core.state_transfer import DEFAULT_PROBE_STAGGER
-from .core.types import is_nil
 from .harness.runner import DEFAULT_RECOVERY_POLL_INTERVAL, Deployment
 from .harness.scenarios import (
     DEFAULT_FLUSH_INTERVAL,
@@ -102,13 +101,8 @@ def build_deployment() -> Deployment:
     )
 
 
-def delivered_trace(node) -> List[Tuple[int, str]]:
-    """The node's delivered sequence as ``(sn, entry-digest-hex | "nil")``."""
-    trace: List[Tuple[int, str]] = []
-    for sn in range(node.log.first_undelivered):
-        entry = node.log.entry(sn)
-        trace.append((sn, "nil" if is_nil(entry) else entry.digest().hex()))
-    return trace
+#: Canonical delivered-sequence shape shared by every smoke gate.
+delivered_trace = golden.delivered_trace
 
 
 def run_smoke() -> Dict[str, object]:

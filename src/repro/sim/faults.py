@@ -28,6 +28,13 @@ per-node adversarial send hook on the :class:`Network` (built by
 *does* (bucket censorship) are honoured by the ISS node itself, exactly
 like :class:`StragglerSpec`.
 
+Faults are not restricted to replicas: :class:`MaliciousClientSpec`
+describes a misbehaving *end user* (Section 3.7's threat model — watermark
+abuse, duplicate flooding, bucket bias, forged signatures).  The harness
+builds an :class:`~repro.sim.client_adversary.AbusiveClient` for every
+spec'd client id and registers it here so ``start_time`` activation runs
+through the same scheduling path as the replica-side adversaries.
+
 Crash/restart/adversary scheduling lives here (it is purely a
 network/timing concern); straggler and censorship behaviour is
 implemented inside the ISS node (:class:`repro.core.iss.ISSNode` honours
@@ -39,7 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.types import BucketId, EpochNr, NodeId
+from ..core.types import BucketId, ClientId, EpochNr, NodeId
 from .network import Network
 from .simulator import Simulator
 
@@ -55,6 +62,19 @@ BYZ_INVALID_VOTES = "invalid-votes"
 BYZ_REPLAY = "replay"
 
 BYZANTINE_BEHAVIOURS = (BYZ_EQUIVOCATE, BYZ_CENSOR, BYZ_INVALID_VOTES, BYZ_REPLAY)
+
+#: Malicious-client behaviours (see :class:`MaliciousClientSpec`).
+CLIENT_WATERMARK_ABUSE = "watermark-abuse"
+CLIENT_DUPLICATE_FLOOD = "duplicate-flood"
+CLIENT_BUCKET_BIAS = "bucket-bias"
+CLIENT_FORGED_SIGNATURE = "forged-signature"
+
+MALICIOUS_CLIENT_BEHAVIOURS = (
+    CLIENT_WATERMARK_ABUSE,
+    CLIENT_DUPLICATE_FLOOD,
+    CLIENT_BUCKET_BIAS,
+    CLIENT_FORGED_SIGNATURE,
+)
 
 
 @dataclass(frozen=True)
@@ -150,6 +170,65 @@ class ByzantineSpec:
             raise ValueError("replay_factor must be >= 2")
 
 
+@dataclass(frozen=True)
+class MaliciousClientSpec:
+    """Description of one misbehaving client process (Section 3.7 threat
+    model: the SMR service must tolerate abusive end users, not just faulty
+    replicas).
+
+    ``behaviour`` selects the attack:
+
+    * ``"watermark-abuse"`` — alternate between timestamps far beyond the
+      watermark window (every node must reject them) and deliberately
+      skipped timestamps, so the contiguous-prefix low watermark never
+      advances and the abuser eventually wedges *itself* out of the window.
+    * ``"duplicate-flood"`` — submit each request ``flood_factor`` times to
+      every node, and re-submit already-delivered requests; bucket-queue /
+      delivered-filter idempotence must absorb the flood.
+    * ``"bucket-bias"`` — craft request ids (by skipping timestamps) that
+      all map to ``target_bucket``, attempting to overload one bucket; the
+      payload-excluded ``c||t`` hash plus the watermark window bound the
+      damage to at most ``window`` requests before the abuser wedges.
+    * ``"forged-signature"`` — claim ``victim``'s identity on requests
+      signed with the abuser's own key (a stolen-identity attempt); the
+      signature check must reject every one.  Rejections are attributed to
+      the *claimed* identity — the only one nodes can observe.  Only
+      meaningful when the deployment signs client requests
+      (``ISSConfig.client_signatures``); in a signature-free CFT
+      configuration identity forgery is trivially possible and outside the
+      fault model, so the scenarios skip the pairing.
+    """
+
+    client: ClientId
+    behaviour: str = CLIENT_WATERMARK_ABUSE
+    #: Virtual time at which the client turns abusive (0 = from the start;
+    #: before that it behaves like a correct client).
+    start_time: float = 0.0
+    #: ``"watermark-abuse"``: how far beyond the window the far-out
+    #: timestamps jump.
+    jump: int = 1_000_000
+    #: ``"duplicate-flood"``: copies of each request sent to every node.
+    flood_factor: int = 3
+    #: ``"bucket-bias"``: the bucket the crafted ids try to overload.
+    target_bucket: BucketId = 0
+    #: ``"forged-signature"``: the client identity the forgeries claim
+    #: (required for that behaviour).
+    victim: Optional[ClientId] = None
+
+    def __post_init__(self) -> None:
+        if self.behaviour not in MALICIOUS_CLIENT_BEHAVIOURS:
+            raise ValueError(f"unknown malicious-client behaviour {self.behaviour!r}")
+        if self.behaviour == CLIENT_DUPLICATE_FLOOD and self.flood_factor < 2:
+            raise ValueError("flood_factor must be >= 2")
+        if self.behaviour == CLIENT_FORGED_SIGNATURE:
+            if self.victim is None:
+                raise ValueError("forged-signature behaviour requires a victim")
+            if self.victim == self.client:
+                raise ValueError("forging one's own identity is just signing")
+        if self.jump < 1:
+            raise ValueError("jump must be >= 1")
+
+
 class FaultInjector:
     """Applies :class:`CrashSpec` schedules to a running deployment.
 
@@ -169,6 +248,9 @@ class FaultInjector:
         self._byzantine_specs: List[ByzantineSpec] = []
         #: Installed adversarial senders by node (see :mod:`.adversary`).
         self._adversaries: Dict[NodeId, object] = {}
+        self._malicious_client_specs: List[MaliciousClientSpec] = []
+        #: Registered abusive clients by client id (see :mod:`.client_adversary`).
+        self._abusive_clients: Dict[ClientId, object] = {}
         self._epoch_start_watch: Dict[NodeId, List[CrashSpec]] = {}
         self._epoch_end_watch: Dict[NodeId, List[CrashSpec]] = {}
         #: Called right after a node is crashed (e.g. to stop its timers).
@@ -230,6 +312,31 @@ class FaultInjector:
         self._adversaries[node] = adversary
         self.network.set_adversary(node, adversary)
 
+    def schedule_malicious_client(self, spec: MaliciousClientSpec) -> None:
+        """Record one :class:`MaliciousClientSpec`.
+
+        The abusive client *process* is built by the harness (it owns
+        client construction); :meth:`register_abusive_client` then arms the
+        ``start_time`` activation here, mirroring how replica-side
+        adversaries are installed.
+        """
+        self._malicious_client_specs.append(spec)
+
+    def schedule_malicious_clients(self, specs: Sequence[MaliciousClientSpec]) -> None:
+        for spec in specs:
+            self.schedule_malicious_client(spec)
+
+    def register_abusive_client(self, client) -> None:
+        """Attach a built :class:`~repro.sim.client_adversary.AbusiveClient`
+        and arm its activation at the spec's ``start_time`` (immediately when
+        that time already passed)."""
+        self._abusive_clients[client.client_id] = client
+        start = client.spec.start_time
+        if start <= self.sim.now:
+            client.activate_abuse()
+        else:
+            self.sim.schedule_at(start, client.activate_abuse)
+
     # ---------------------------------------------------------------- hooks
     def notify_epoch_start(self, node: NodeId, epoch: EpochNr) -> None:
         """Called by the ISS node when ``epoch`` starts locally."""
@@ -289,3 +396,12 @@ class FaultInjector:
         """The installed adversarial sender of ``node`` (None before
         ``start_time`` and for node-level behaviours such as censorship)."""
         return self._adversaries.get(node)
+
+    def malicious_clients(self) -> Sequence[ClientId]:
+        """Client ids covered by a scheduled :class:`MaliciousClientSpec`."""
+        return tuple(spec.client for spec in self._malicious_client_specs)
+
+    def abusive_client_for(self, client_id: ClientId):
+        """The registered abusive client process for ``client_id`` (None for
+        clients without a malicious spec)."""
+        return self._abusive_clients.get(client_id)

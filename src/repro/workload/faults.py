@@ -12,14 +12,17 @@ from typing import List, Sequence
 from ..sim.faults import (
     BYZ_CENSOR,
     BYZ_EQUIVOCATE,
+    CLIENT_FORGED_SIGNATURE,
+    CLIENT_WATERMARK_ABUSE,
     CRASH_AT_TIME,
     CRASH_EPOCH_END,
     CRASH_EPOCH_START,
     ByzantineSpec,
     CrashSpec,
+    MaliciousClientSpec,
     StragglerSpec,
 )
-from ..core.types import BucketId, NodeId
+from ..core.types import BucketId, ClientId, NodeId
 
 
 def epoch_start_crashes(count: int, num_nodes: int, epoch: int = 0) -> List[CrashSpec]:
@@ -82,6 +85,46 @@ def byzantine_leaders(
         )
         for v in victims
     ]
+
+
+def abusive_clients(
+    count: int,
+    num_clients: int,
+    behaviour: str = CLIENT_WATERMARK_ABUSE,
+    start_time: float = 0.0,
+    flood_factor: int = 3,
+    target_bucket: BucketId = 0,
+    jump: int = 1_000_000,
+) -> List[MaliciousClientSpec]:
+    """``count`` abusive clients, counted down from the top like every other
+    schedule builder (so low-numbered clients — the ones tests inspect —
+    stay correct).  Forged-signature abusers impersonate *correct* clients
+    counted up from 0 (ids below ``num_clients - count``, so a victim is
+    never an abuser), distinct as long as there are at least as many
+    correct clients as abusers."""
+    if count < 0:
+        raise ValueError("abusive client count must be non-negative")
+    if count >= num_clients:
+        raise ValueError("cannot corrupt every client")
+    specs: List[MaliciousClientSpec] = []
+    correct_count = num_clients - count
+    for i in range(count):
+        client: ClientId = num_clients - 1 - i
+        victim = (
+            i % correct_count if behaviour == CLIENT_FORGED_SIGNATURE else None
+        )
+        specs.append(
+            MaliciousClientSpec(
+                client=client,
+                behaviour=behaviour,
+                start_time=start_time,
+                flood_factor=flood_factor,
+                target_bucket=target_bucket,
+                jump=jump,
+                victim=victim,
+            )
+        )
+    return specs
 
 
 def censorship_targets(num_buckets: int, count: int = 4) -> List[BucketId]:

@@ -164,6 +164,33 @@ class TestBucketQueue:
         # Arrival order (reversed insertion) is what counts.
         assert queue.pending() == list(reversed(requests))
 
+    def test_add_after_remove_stays_idempotent_under_resubmission(self):
+        """A flood of re-transmissions after proposal never re-enters the
+        queue: only resurrect() (an aborted proposal) can bring it back."""
+        queue = BucketQueue(0)
+        request = make_request()
+        queue.add(request)
+        queue.remove(request.rid)  # proposed
+        for _ in range(5):  # client resubmits on every epoch change
+            assert not queue.add(request)
+        assert len(queue) == 0
+        queue.resurrect(request)  # the proposal aborted (⊥)
+        assert len(queue) == 1
+        assert not queue.add(request)  # still exactly once while pending
+
+    def test_duplicate_readd_after_forget_history(self):
+        """forget_history intentionally re-opens add(): after delivered-state
+        GC the watermark check — not the queue — must reject resubmissions,
+        which is why GC only collects ids below the low watermark."""
+        queue = BucketQueue(0)
+        request = make_request()
+        queue.add(request)
+        queue.remove(request.rid)
+        assert not queue.add(request)  # remembered
+        queue.forget_history(request.rid)
+        assert queue.add(request)  # memory gone: add is possible again
+        assert len(queue) == 1
+
 
 class TestBucketPool:
     def test_add_routes_to_hash_bucket(self):
@@ -221,3 +248,27 @@ class TestBucketPool:
     def test_invalid_pool_size(self):
         with pytest.raises(ValueError):
             BucketPool(0)
+
+    def test_forget_delivered_below_collects_the_prefix(self):
+        """Delivered-filter GC drops exactly the watermark-covered range and
+        reports how much it collected."""
+        pool = BucketPool(num_buckets=8)
+        requests = [make_request(client=1, timestamp=t) for t in range(6)]
+        for request in requests:
+            pool.add_request(request)
+            pool.mark_delivered(request)
+        assert pool.delivered_count() == 6
+        assert pool.forget_delivered_below(1, 0, 4) == 4
+        assert pool.delivered_count() == 2
+        for timestamp in range(4):
+            assert not pool.is_delivered(RequestId(1, timestamp))
+        for timestamp in (4, 5):
+            assert pool.is_delivered(RequestId(1, timestamp))
+        # Idempotent: re-collecting the same range drops nothing more.
+        assert pool.forget_delivered_below(1, 0, 4) == 0
+        # Other clients' state is untouched.
+        other = make_request(client=2, timestamp=0)
+        pool.add_request(other)
+        pool.mark_delivered(other)
+        pool.forget_delivered_below(1, 4, 6)
+        assert pool.is_delivered(other.rid)

@@ -204,3 +204,70 @@ class TestResubmission:
         assert harness.client.outstanding_within_watermarks()
         harness.client.submit(b"b")
         assert not harness.client.outstanding_within_watermarks()
+
+
+class TestWatermarkGateOutOfOrder:
+    """Regression: the client-side watermark gate must track the lowest
+    uncompleted timestamp, not the pending count.
+
+    The node-side window is anchored at the *contiguous* delivered prefix;
+    when completions land out of order, a pending-count gate undercounts
+    the outstanding span and lets a correct client emit timestamps every
+    node rejects — and with no resubmission path on rejection, those
+    requests wedge.  These tests fail on the pending-count implementation
+    and pass on the lowest-uncompleted one.
+    """
+
+    def _complete(self, harness, request):
+        """Deliver the f+1 responses that complete ``request``."""
+        for node in (0, 1):
+            harness.client.on_message(
+                node, ClientResponseMsg(rid=request.rid, sn=0, node=node)
+            )
+
+    def test_out_of_order_completion_does_not_reopen_the_window(self):
+        harness = ClientHarness(client_watermark_window=2)
+        first = harness.client.submit(b"a")   # t=0
+        second = harness.client.submit(b"b")  # t=1
+        self._complete(harness, second)       # t=1 completes, t=0 stuck
+        # Pending count is 1 (< window), but t=2 would be outside every
+        # node's window [0, 2) until t=0 completes: the gate must hold.
+        assert not harness.client.outstanding_within_watermarks()
+        self._complete(harness, first)        # the prefix catches up
+        assert harness.client.outstanding_within_watermarks()
+
+    def test_emitted_timestamps_always_inside_node_window(self):
+        """Property: whatever order completions arrive in, every timestamp
+        the gate admits lies inside the node-side window."""
+        from repro.core.validation import ClientWatermarks
+
+        harness = ClientHarness(client_watermark_window=4)
+        marks = ClientWatermarks(window=4)
+        submitted = []
+        # Complete in an adversarial order: newest first within waves.
+        for _wave in range(5):
+            while harness.client.outstanding_within_watermarks():
+                request = harness.client.submit(b"x")
+                assert marks.in_window(0, request.rid.timestamp), (
+                    f"t={request.rid.timestamp} outside node window "
+                    f"[{marks.low_watermark(0)}, "
+                    f"{marks.low_watermark(0) + marks.window})"
+                )
+                submitted.append(request)
+            for request in reversed(submitted):
+                self._complete(harness, request)
+                marks.note_delivered(0, request.rid.timestamp)
+            submitted.clear()
+            marks.advance_epoch()
+
+    def test_lowest_uncompleted_tracks_contiguous_prefix(self):
+        harness = ClientHarness(client_watermark_window=8)
+        requests = [harness.client.submit(bytes([i])) for i in range(4)]
+        self._complete(harness, requests[2])
+        self._complete(harness, requests[1])
+        assert harness.client._lowest_uncompleted == 0
+        self._complete(harness, requests[0])  # prefix jumps over 1 and 2
+        assert harness.client._lowest_uncompleted == 3
+        self._complete(harness, requests[3])
+        assert harness.client._lowest_uncompleted == 4
+        assert not harness.client._completed_ahead  # buffer fully drained
