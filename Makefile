@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check perf-smoke recovery-smoke byzantine-smoke client-abuse-smoke bench
+.PHONY: test docs-check perf-smoke recovery-smoke byzantine-smoke client-abuse-smoke partition-smoke bench
 
 # Tier-1 test suite (the CI gate; see ROADMAP.md).
 test:
@@ -38,6 +38,15 @@ byzantine-smoke:
 # Writes BENCH_client_abuse.json.
 client-abuse-smoke:
 	$(PYTHON) -m repro.client_abuse_smoke
+
+# Seeded partition scenario: minority node cut off behind a lossy link;
+# clients must complete through retry/backoff, nodes must stay
+# prefix-identical, the laggard must reconverge via state transfer at heal,
+# and the run must replay deterministically against
+# tests/data/golden_trace_partition.json (see repro.partition_smoke).
+# Writes BENCH_partition_heal.json.
+partition-smoke:
+	$(PYTHON) -m repro.partition_smoke
 
 # Hot-path microbenchmarks (diagnose what perf-smoke flags).
 bench:

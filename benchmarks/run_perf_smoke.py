@@ -18,11 +18,18 @@ Runs, in order:
   be rejected and counted, and the run must replay deterministically
   against the client-abuse golden trace (writes
   ``BENCH_client_abuse.json``),
+* ``python -m repro.partition_smoke`` — seeded partition scenario
+  (minority node cut off behind a lossy link); correct clients must
+  complete through retry/backoff, nodes must stay prefix-identical, the
+  laggard must reconverge via state transfer at heal, and the run must
+  replay deterministically against the partition golden trace (writes
+  ``BENCH_partition_heal.json``),
 * ``python -m repro.doccheck`` — docstring audit + README and
   docs/SCENARIOS.md code-block execution.
 
 The exit status is non-zero when *any* gate fails, so CI catches perf,
-recovery, adversary-robustness and documentation regressions in one step.
+recovery, adversary-robustness, partition-tolerance and documentation
+regressions in one step.
 
 Usage::
 
@@ -37,6 +44,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 from repro.byzantine_smoke import main as byzantine_main  # noqa: E402
 from repro.client_abuse_smoke import main as client_abuse_main  # noqa: E402
 from repro.doccheck import main as doccheck_main  # noqa: E402
+from repro.partition_smoke import main as partition_main  # noqa: E402
 from repro.perf_smoke import main as perf_main  # noqa: E402
 from repro.recovery_smoke import main as recovery_main  # noqa: E402
 
@@ -45,11 +53,13 @@ if __name__ == "__main__":
     recovery_status = recovery_main([])
     byzantine_status = byzantine_main([])
     client_abuse_status = client_abuse_main([])
+    partition_status = partition_main([])
     doc_status = doccheck_main([])
     sys.exit(
         perf_status
         or recovery_status
         or byzantine_status
         or client_abuse_status
+        or partition_status
         or doc_status
     )

@@ -50,6 +50,7 @@ from .sim.faults import (
     CLIENT_BUCKET_BIAS,
     CLIENT_FORGED_SIGNATURE,
 )
+from .sim.chaos import PartitionSpec, LinkFaultSpec
 from .sim.client_adversary import AbusiveClient
 
 __version__ = "1.0.0"
@@ -85,6 +86,8 @@ __all__ = [
     "StragglerSpec",
     "ByzantineSpec",
     "MaliciousClientSpec",
+    "PartitionSpec",
+    "LinkFaultSpec",
     "AbusiveClient",
     "BYZ_EQUIVOCATE",
     "BYZ_CENSOR",

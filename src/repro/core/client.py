@@ -8,16 +8,28 @@ through quorum-confirmed bucket-assignment messages from the nodes — the
 client re-submits all still-undelivered requests to the new leaders, which
 guarantees that a correct leader eventually receives every request
 (liveness, SMR4).
+
+Epoch-driven resubmission alone cannot recover a request whose messages
+were *dropped* (lossy link, partition) while the bucket assignment stays
+put, so clients optionally run a retry loop (``ISSConfig.client_retry_*``):
+each request arms a per-request timeout; on expiry the request is resent to
+the current targets and the timeout backs off exponentially (deterministic
+seeded jitter, capped).  Resubmissions reuse the original request id, so
+they stay inside the client's watermark window by construction and are
+absorbed by the nodes' idempotent bucket queues when the original did make
+it through.  Retries are off by default (``client_retry_timeout = 0``
+schedules nothing), keeping existing schedules bit-identical.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..crypto.signatures import KeyStore
 from ..sim.network import Network
-from ..sim.simulator import Simulator
+from ..sim.simulator import Simulator, Timer
 from .buckets import assignment_for_epoch, bucket_of
 from .config import ISSConfig
 from .messages import (
@@ -88,6 +100,17 @@ class Client:
         self._projections: Dict[EpochNr, Dict[BucketId, NodeId]] = {}
         self.requests_submitted = 0
         self.requests_completed = 0
+        #: Resubmissions performed by the retry loop (0 with retries off).
+        self.requests_retried = 0
+        #: Per-request retry timers (empty with retries off).
+        self._retry_timers: Dict[RequestId, Timer] = {}
+        #: Deterministic per-client jitter source, created only when retries
+        #: are enabled so a retry-free run draws no extra randomness.
+        self._retry_rng: Optional[random.Random] = None
+        if config.client_retry_timeout > 0:
+            self._retry_rng = random.Random(
+                (config.random_seed * 1_000_003) ^ (0xC11E47 + client_id * 7919)
+            )
         network.register(self.endpoint, self.on_message)
 
     # ------------------------------------------------------------ submission
@@ -101,6 +124,8 @@ class Client:
         self._pending[rid] = _PendingRequest(request=request, submitted_at=self.sim.now)
         self.requests_submitted += 1
         self._send_request(request)
+        if self._retry_rng is not None:
+            self._arm_retry(rid, attempt=0)
         return request
 
     def _track_pending(self, request: Request) -> None:
@@ -116,6 +141,48 @@ class Client:
         message = ClientRequestMsg(request=request)
         for node in targets:
             self.network.send(self.endpoint, node, message)
+
+    # ----------------------------------------------------------- retry loop
+    def _arm_retry(self, rid: RequestId, attempt: int) -> None:
+        """Schedule the next per-request timeout (jittered exponential
+        backoff, capped at ``client_retry_max_timeout``)."""
+        delay = self._retry_delay(attempt)
+        self._retry_timers[rid] = self.sim.schedule(
+            delay, lambda: self._on_retry_timeout(rid, attempt)
+        )
+
+    def _retry_delay(self, attempt: int) -> float:
+        config = self.config
+        delay = min(
+            config.client_retry_max_timeout,
+            config.client_retry_timeout * (config.client_retry_backoff ** attempt),
+        )
+        if config.client_retry_jitter > 0:
+            delay *= 1.0 + config.client_retry_jitter * self._retry_rng.random()
+        return delay
+
+    def _on_retry_timeout(self, rid: RequestId, attempt: int) -> None:
+        """The request outlived its timeout: resend it and back off.
+
+        Resending reuses the original request id, so the resubmission is
+        inside the watermark window by construction (the window gates
+        *new* timestamps) and idempotent at the nodes if the original
+        arrived after all.  The loop runs until the request completes —
+        the backoff cap bounds the resend rate, not the attempt count
+        (giving up would abandon SMR liveness for that request).
+        """
+        pending = self._pending.get(rid)
+        if pending is None or pending.completed:
+            self._retry_timers.pop(rid, None)
+            return
+        self.requests_retried += 1
+        self._send_request(pending.request)
+        self._arm_retry(rid, attempt + 1)
+
+    def _cancel_retry(self, rid: RequestId) -> None:
+        timer = self._retry_timers.pop(rid, None)
+        if timer is not None:
+            timer.cancel()
 
     def _targets_for(self, rid: RequestId) -> List[NodeId]:
         """Current leader of the request's bucket plus the two projected next
@@ -175,6 +242,8 @@ class Client:
                     self.client_id, pending.request, pending.submitted_at, self.sim.now
                 )
             del self._pending[rid]
+            if self._retry_timers:
+                self._cancel_retry(rid)
             self._on_request_completed(pending.request)
 
     def _note_completed(self, timestamp: int) -> None:

@@ -73,6 +73,33 @@ class ISSConfig:
     epoch_change_timeout: float = 10.0
     #: PBFT/HotStuff view-change (pacemaker) timeout for a single instance.
     view_change_timeout: float = 10.0
+    #: Deterministic, seeded jitter on every view-change/round timer arming,
+    #: as a fraction of the timeout: each armed timer fires after
+    #: ``timeout * (1 + U[0, jitter))``.  Desynchronises simultaneous
+    #: timeouts across nodes so a partition does not produce synchronized
+    #: view-change storms.  ``0`` (the default) draws nothing and keeps
+    #: every existing schedule bit-identical.
+    view_change_jitter: float = 0.0
+    #: Grace period (seconds) after which a node holding a *stable*
+    #: checkpoint for its own current epoch with an incomplete local log
+    #: requests state transfer.  Persistent message loss can leave a node
+    #: with log holes it can never fill via SB (the epoch's instances are
+    #: garbage collected at the peers once the checkpoint is stable); view
+    #: changes cannot help either because the peers' instances are gone.
+    #: ``0`` (the default) disables the check and schedules nothing —
+    #: clean-path schedules stay bit-identical.
+    stalled_catchup_grace: float = 0.0
+    #: View-change recovery hardening (textbook-PBFT behaviours this
+    #: simulation can skip while channels are reliable): include committed
+    #: slots' prepared proofs in VIEW-CHANGE messages, re-announce decided
+    #: values in NEW-VIEW, re-affirm commits so laggards can assemble a
+    #: commit quorum, and reset the view/round-timeout backoff on progress.
+    #: Required for reconvergence from partitions that leave *no* side with
+    #: a quorum (nothing checkpoints, so state transfer has nothing to
+    #: serve).  Off by default purely to keep pre-chaos golden schedules
+    #: bit-identical; semantics without it are still safe, just slower to
+    #: recover.
+    vc_recovery: bool = False
     #: Raft election timeout range (min, max).
     election_timeout: tuple = (10.0, 20.0)
 
@@ -87,6 +114,21 @@ class ISSConfig:
     client_signatures: bool = True
     #: Simulated signature sizes (bytes); 64 matches 256-bit ECDSA.
     signature_size: int = 64
+    #: Client retry/backoff (closing the loss-path liveness gap: before this,
+    #: a request whose messages were all dropped waited for the next epoch's
+    #: bucket reassignment — or forever).  ``client_retry_timeout`` is the
+    #: per-request timeout before the first resubmission; ``0`` (the
+    #: default) disables retries entirely and schedules nothing.
+    client_retry_timeout: float = 0.0
+    #: Multiplier applied to the retry timeout after every attempt
+    #: (exponential backoff, >= 1).
+    client_retry_backoff: float = 2.0
+    #: Cap on the backed-off retry timeout (seconds).
+    client_retry_max_timeout: float = 30.0
+    #: Deterministic, seeded jitter on each retry delay, as a fraction:
+    #: every delay is multiplied by ``1 + U[0, jitter)`` so a healed
+    #: partition does not see all clients resubmit in the same instant.
+    client_retry_jitter: float = 0.1
     #: Whether nodes send per-request responses back to clients.  The paper's
     #: clients wait for f+1 responses; large simulated sweeps disable the
     #: response messages and measure the same quantity centrally (the moment
@@ -158,6 +200,20 @@ class ISSConfig:
             raise ConfigError("Raft is a CFT protocol; set byzantine=False")
         if self.client_watermark_window < 1:
             raise ConfigError("client_watermark_window must be >= 1")
+        if not 0.0 <= self.view_change_jitter < 1.0:
+            raise ConfigError("view_change_jitter must be in [0, 1)")
+        if self.stalled_catchup_grace < 0:
+            raise ConfigError("stalled_catchup_grace must be >= 0")
+        if self.client_retry_timeout < 0:
+            raise ConfigError("client_retry_timeout must be >= 0")
+        if self.client_retry_backoff < 1.0:
+            raise ConfigError("client_retry_backoff must be >= 1")
+        if self.client_retry_max_timeout < self.client_retry_timeout:
+            raise ConfigError(
+                "client_retry_max_timeout must be >= client_retry_timeout"
+            )
+        if not 0.0 <= self.client_retry_jitter < 1.0:
+            raise ConfigError("client_retry_jitter must be in [0, 1)")
 
     def with_updates(self, **kwargs) -> "ISSConfig":
         """Return a copy with the given fields replaced (and re-validated)."""

@@ -29,6 +29,7 @@ delivers; both only reduce the number of messages on the simulated wire.
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..crypto.signatures import KeyStore
@@ -111,6 +112,9 @@ class ISSNode:
         #: While True (set between restart and caught-up), stable
         #: checkpoints for the *current* epoch also trigger state transfer.
         self._catchup_aggressive = False
+        #: Pending stalled-epoch re-check (``stalled_catchup_grace``);
+        #: at most one armed at a time.
+        self._wedge_timer = None
 
         # --- replicated state -------------------------------------------------
         self.log = Log()
@@ -178,6 +182,10 @@ class ISSNode:
         self.equivocations_detected = 0
         #: Forged protocol votes rejected by this node's SB instances.
         self.invalid_votes_rejected = 0
+        #: View/round changes completed across all SB instances this node has
+        #: ever hosted (the per-instance counters die with epoch garbage
+        #: collection; partition diagnostics need a persistent figure).
+        self.view_changes = 0
         #: Duplicate submissions absorbed per client (re-transmissions of
         #: delivered or already-pending requests; abusive flooders inflate
         #: this, honest epoch-driven resubmission contributes too).
@@ -205,6 +213,9 @@ class ISSNode:
         self.crashed = True
         self.orderer.stop_all()
         self.state_transfer.stop()
+        if self._wedge_timer is not None:
+            self._wedge_timer.cancel()
+            self._wedge_timer = None
         if self.failure_detector is not None:
             self.failure_detector.stop()
 
@@ -224,6 +235,22 @@ class ISSNode:
     def end_recovery_catchup(self) -> None:
         """Leave aggressive catch-up mode (the node is back at the frontier)."""
         self._catchup_aggressive = False
+
+    def nudge_stalled_instances(self) -> None:
+        """Partition healed: prod every live SB instance to re-examine
+        liveness immediately (see :meth:`repro.core.sb.SBInstance.nudge`).
+
+        State transfer only serves checkpoint-backed prefixes; epochs where
+        *no* side kept a quorum (a bridge partition, say) have no stable
+        checkpoint to transfer, and their decided-but-unfinished instances
+        can only complete through the protocol's own view/round machinery —
+        whose timers were exponentially backed off during the outage.
+        Called by the harness's heal hook; never on the clean path.
+        """
+        if self.crashed:
+            return
+        for instance in list(self.orderer.active_instances()):
+            instance.nudge()
 
     def submit_request(self, request: Request) -> bool:
         """Entry point for a locally injected request (bypassing the network).
@@ -384,7 +411,35 @@ class ISSNode:
             ),
             key_store=self.key_store,
             report_misbehaviour_fn=self._note_misbehaviour,
+            timeout_jitter_fn=self._make_timeout_jitter(segment),
+            note_view_change_fn=self._note_view_change,
         )
+
+    def _make_timeout_jitter(self, segment: SegmentDescriptor) -> Optional[Callable[[], float]]:
+        """Deterministic per-instance jitter source for view/round timeouts.
+
+        Returns ``None`` (no jitter, no RNG allocated, bit-identical
+        schedules) unless ``config.view_change_jitter > 0``.  The seed mixes
+        only integers — the deployment seed, this node and the instance id —
+        so different nodes arm the same logical timeout desynchronised while
+        the whole schedule stays reproducible across runs.
+        """
+        jitter = self.config.view_change_jitter
+        if jitter <= 0:
+            return None
+        epoch, leader = segment.instance_id
+        seed = (
+            (self.config.random_seed * 2654435761)
+            ^ (int(self.node_id) * 1_000_003)
+            ^ (int(epoch) * 7919)
+            ^ (int(leader) * 104_729)
+        ) & 0xFFFFFFFF
+        rng = random.Random(seed ^ 0x7177E4)
+        return lambda: 1.0 + jitter * rng.random()
+
+    def _note_view_change(self) -> None:
+        """Count one completed view/round change (all instances, all epochs)."""
+        self.view_changes += 1
 
     def _note_misbehaviour(self, kind: str, offender: NodeId) -> None:
         """Count provable misbehaviour reported by an SB instance.
@@ -600,6 +655,34 @@ class ISSNode:
             self.state_transfer.request_missing(
                 checkpoint_epoch, checkpoint_epoch, peers, force=True
             )
+        elif (
+            self.config.stalled_catchup_grace > 0
+            and self._wedge_timer is None
+            and checkpoint_epoch == self.current_epoch
+            and self.checkpoints.stable_checkpoint(checkpoint_epoch) is not None
+            and not self.manager.epoch_complete(checkpoint_epoch, self.log)
+        ):
+            # Same wedge outside the restart path: persistent message loss
+            # left holes in an epoch the peers have already garbage
+            # collected.  The in-flight commits get one grace period to
+            # land; if the epoch is still incomplete afterwards only a
+            # transfer can complete it.
+            self._wedge_timer = self.sim.schedule(
+                self.config.stalled_catchup_grace,
+                lambda: self._catchup_if_wedged(checkpoint_epoch),
+            )
+
+    def _catchup_if_wedged(self, epoch: EpochNr) -> None:
+        """Grace period expired: force a transfer if the epoch is still stuck."""
+        self._wedge_timer = None
+        if self.crashed or epoch != self.current_epoch:
+            return
+        if self.manager.epoch_complete(epoch, self.log):
+            return
+        if self.checkpoints.stable_checkpoint(epoch) is None:
+            return
+        peers = [n for n in range(self.config.num_nodes) if n != self.node_id]
+        self.state_transfer.request_missing(epoch, epoch, peers, force=True)
 
     # ======================================================= instance messages
     def _send_instance_message(self, dst: NodeId, instance_id: InstanceId, payload: object) -> None:

@@ -61,6 +61,8 @@ class SBContext:
         force_empty_proposals: bool = False,
         key_store: Optional[object] = None,
         report_misbehaviour_fn: Optional[Callable[[str, NodeId], None]] = None,
+        timeout_jitter_fn: Optional[Callable[[], float]] = None,
+        note_view_change_fn: Optional[Callable[[], None]] = None,
     ):
         self.node_id = node_id
         self.config = config
@@ -86,6 +88,11 @@ class SBContext:
         #: by any implementation that wants to sign protocol messages).
         self.key_store = key_store
         self._report_misbehaviour = report_misbehaviour_fn
+        #: Deterministic per-instance jitter on armed view/round timeouts
+        #: (None = no jitter; see ``ISSConfig.view_change_jitter``).
+        self._timeout_jitter = timeout_jitter_fn
+        #: Host counter hook fired on every completed view/round change.
+        self._note_view_change = note_view_change_fn
 
     # ------------------------------------------------------------ identity
     @property
@@ -138,6 +145,27 @@ class SBContext:
 
     def now(self) -> float:
         return self._now()
+
+    def timeout_jitter(self) -> float:
+        """Multiplier (``>= 1``) for the next armed view/round timeout.
+
+        With ``ISSConfig.view_change_jitter = 0`` (the default) this is a
+        constant 1.0 and draws nothing; otherwise the host supplies a
+        deterministic per-instance sample in ``[1, 1 + jitter)``, which
+        desynchronises simultaneous timeouts across nodes (no view-change
+        storms when a partition stalls many instances at once).
+        """
+        if self._timeout_jitter is None:
+            return 1.0
+        return self._timeout_jitter()
+
+    def note_view_change(self) -> None:
+        """Count one completed view/round change at the host node (feeds the
+        "view changes during partition" figure of ``RunReport.partitions``;
+        the per-instance counters die with epoch garbage collection, this
+        one survives)."""
+        if self._note_view_change is not None:
+            self._note_view_change()
 
     # ------------------------------------------------------------ batching
     def cut_batch(self, sn: SeqNr) -> Batch:
@@ -221,6 +249,16 @@ class SBInstance(ABC):
     @abstractmethod
     def stop(self) -> None:
         """Stop all activity (cancel timers); called at garbage collection."""
+
+    def nudge(self) -> None:
+        """Connectivity was restored (e.g. a partition healed): re-examine
+        liveness *now* instead of waiting out timers that were exponentially
+        backed off during the outage.
+
+        Default no-op; view/round-based protocols override it to restart
+        their stalled-progress machinery at the base timeout.  Never called
+        on the clean path, so implementations may send messages freely.
+        """
 
 
 @dataclass

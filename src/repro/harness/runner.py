@@ -35,6 +35,7 @@ from ..core.validation import REJECTION_REASONS
 from ..crypto.signatures import KeyStore
 from ..core.state_transfer import probe_stagger_interval
 from ..metrics.collector import MetricsCollector, RunReport
+from ..sim.chaos import DROP_CAUSES, LinkFaultSpec, PartitionSpec
 from ..sim.client_adversary import AbusiveClient
 from ..sim.faults import (
     BYZ_CENSOR,
@@ -103,6 +104,8 @@ class Deployment:
         restart_specs: Sequence[RestartSpec] = (),
         byzantine_specs: Sequence[ByzantineSpec] = (),
         malicious_client_specs: Sequence[MaliciousClientSpec] = (),
+        partition_specs: Sequence[PartitionSpec] = (),
+        link_fault_specs: Sequence[LinkFaultSpec] = (),
         durable_storage: Optional[bool] = None,
         recovery_poll: Optional[float] = None,
         probe_stagger: Optional[float] = None,
@@ -119,6 +122,8 @@ class Deployment:
         self.restart_specs = list(restart_specs)
         self.byzantine_specs = list(byzantine_specs)
         self.malicious_client_specs = list(malicious_client_specs)
+        self.partition_specs = list(partition_specs)
+        self.link_fault_specs = list(link_fault_specs)
         self.policy_factory = policy_factory
         self.node_class = node_class
         self.layout = layout
@@ -184,10 +189,14 @@ class Deployment:
         ]
         self.injector.on_crash = self._on_node_crash
         self.injector.on_restart = self._on_node_restart
+        self.injector.on_partition_start = self._on_partition_start
+        self.injector.on_partition_heal = self._on_partition_heal
         self.injector.schedule_all(self.crash_specs)
         self.injector.schedule_restarts(self.restart_specs)
         self.injector.schedule_byzantines(self.byzantine_specs)
         self.injector.schedule_malicious_clients(self.malicious_client_specs)
+        self.injector.schedule_partitions(self.partition_specs)
+        self.injector.schedule_link_faults(self.link_fault_specs)
 
         malicious_by_client: Dict[int, MaliciousClientSpec] = {}
         for spec in self.malicious_client_specs:
@@ -319,15 +328,114 @@ class Deployment:
             self.recovery_poll, lambda: self._poll_catchup(node, record)
         )
 
-    def _caught_up(self, node: ISSNode) -> bool:
+    # -------------------------------------------------- partition lifecycle
+    def _on_partition_start(self, spec: PartitionSpec, record: Dict[str, object]) -> None:
+        """Snapshot the cluster-wide view-change count when the split lands.
+
+        The heal hook turns this into ``view_changes_during`` — the figure
+        that shows whether jittered/backed-off timers kept the minority side
+        from storming view changes while it was cut off.
+        """
+        record["_view_changes_at_start"] = sum(
+            node.view_changes for node in self.nodes if not node.crashed
+        )
+
+    def _on_partition_heal(self, spec: PartitionSpec, record: Dict[str, object]) -> None:
+        """Reconverge the cluster after a heal, without an epoch-timer wait.
+
+        Any live node that fell behind the frontier while cut off (typically
+        the minority side) gets the restart path's aggressive catch-up: an
+        open-ended ``LATEST_STABLE`` state-transfer probe plus transfer on
+        current-epoch stable checkpoints.  A poll watcher then records
+        ``time_to_reconverge`` the tick every laggard is back at the
+        frontier (it stays -1 if the run ends first).
+        """
+        start = record.pop("_view_changes_at_start", 0)
+        record["view_changes_during"] = (
+            sum(node.view_changes for node in self.nodes if not node.crashed) - start
+        )
+        # Detect laggards against the *most advanced* live peer, not
+        # _caught_up's slowest-peer bound: after a heal several nodes can be
+        # behind at once (both partition sides stalled, or a lossy link
+        # wedged a majority-side node) and mutually-lagging nodes would
+        # mask each other under the min-frontier rule.
+        laggards = [
+            node
+            for node in self.nodes
+            if not node.crashed and self._behind_frontier(node)
+        ]
+        record["laggards"] = [node.node_id for node in laggards]
+        if not laggards:
+            record["time_to_reconverge"] = 0.0
+            return
+        record["time_to_reconverge"] = -1.0
+        for node in laggards:
+            node.begin_recovery_catchup()
+            # Checkpoint-less epochs (no side kept a quorum) can only
+            # complete through the protocol's own view/round machinery.
+            node.nudge_stalled_instances()
+        self.sim.schedule(
+            self.recovery_poll, lambda: self._poll_reconverge(laggards, record)
+        )
+
+    def _poll_reconverge(self, laggards: List[ISSNode], record: Dict[str, object]) -> None:
+        """Periodic check whether every post-heal laggard reached the frontier.
+
+        Bound to the exact incarnations that were lagging at heal time: a
+        laggard that crashes (or is replaced by a restart, which starts its
+        own recovery watcher) is dropped from the wait — reconvergence is
+        declared over the remaining live laggards.
+        """
+        still_behind: List[ISSNode] = []
+        for node in laggards:
+            if node.crashed or self.nodes[node.node_id] is not node:
+                continue
+            # A fellow laggard must not serve as the frontier reference —
+            # two equally-wedged nodes would declare each other caught up.
+            others = [n for n in laggards if n is not node]
+            if self._caught_up(node, exclude=others):
+                node.end_recovery_catchup()
+            else:
+                still_behind.append(node)
+        if not still_behind:
+            record["time_to_reconverge"] = self.sim.now - float(record["healed_at"])
+            return
+        self.sim.schedule(
+            self.recovery_poll, lambda: self._poll_reconverge(still_behind, record)
+        )
+
+    def _behind_frontier(self, node: ISSNode) -> bool:
+        """Is the node behind the *most advanced* live peer?
+
+        The strict complement question to :meth:`_caught_up`: used at heal
+        time, where comparing against the slowest peer would let several
+        simultaneously-lagging nodes mask each other.
+        """
+        peers = [n for n in self.nodes if n is not node and not n.crashed]
+        if not peers:
+            return False
+        max_epoch = max(peer.current_epoch for peer in peers)
+        max_frontier = max(peer.log.first_undelivered for peer in peers)
+        return (
+            node.current_epoch < max_epoch
+            or node.log.first_undelivered < max_frontier
+        )
+
+    def _caught_up(self, node: ISSNode, exclude: Sequence[ISSNode] = ()) -> bool:
         """Is the restarted node back at the frontier of the live cluster?
 
         Caught up means: at least the epoch of the most advanced live peer,
         and a delivered prefix no shorter than the slowest live peer's.  Both
         bounds compare against *live* peers only — a cluster where everyone
-        else is down has no frontier to chase.
+        else is down has no frontier to chase.  ``exclude`` removes nodes
+        from the reference set (the reconvergence poll passes the other
+        still-lagging nodes so they cannot serve as the frontier).
         """
-        peers = [n for n in self.nodes if n is not node and not n.crashed]
+        peers = [
+            n
+            for n in self.nodes
+            if n is not node and not n.crashed and n not in exclude
+        ]
         if not peers:
             return True
         max_epoch = max(peer.current_epoch for peer in peers)
@@ -355,6 +463,7 @@ class Deployment:
             extra=self._extra_stats(),
             byzantine=self._byzantine_stats(),
             client_abuse=self._client_abuse_stats(),
+            partitions=self._partition_stats(),
         )
         return DeploymentResult(
             report=report,
@@ -432,6 +541,31 @@ class Deployment:
             "abusers": abusers,
         }
 
+    def _partition_stats(self) -> Optional[Dict[str, object]]:
+        """Network-chaos diagnostics for runs with partitions or link faults
+        (else None).
+
+        ``partitions`` carries one record per scheduled partition — the
+        injector's schedule figures (groups, bridges, started_at, healed_at)
+        plus the harness's reconvergence data (laggards,
+        time_to_reconverge, view_changes_during; -1 means the run ended
+        before the event).  ``drops_by_cause`` splits the network's payload
+        drops by cause, ``link_faults`` lists per-installed-fault runtime
+        counters and ``client_retries_total`` sums the clients' retry loops
+        (0 with retries disabled).
+        """
+        if not self.partition_specs and not self.link_fault_specs:
+            return None
+        return {
+            "partitions": [dict(record) for record in self.injector.partition_records()],
+            "drops_by_cause": {
+                cause: int(self.network.stats.dropped_by_cause.get(cause, 0))
+                for cause in DROP_CAUSES
+            },
+            "link_faults": self.injector.link_fault_stats(),
+            "client_retries_total": sum(c.requests_retried for c in self.clients),
+        }
+
     def _extra_stats(self) -> Dict[str, float]:
         alive = [n for n in self.nodes if not n.crashed]
         sample = alive[0] if alive else self.nodes[0]
@@ -439,6 +573,12 @@ class Deployment:
             "messages_sent": float(self.network.stats.messages_sent),
             "bytes_sent": float(self.network.stats.bytes_sent),
             "messages_dropped": float(self.network.stats.messages_dropped),
+            # The opaque total above, split by cause (every key always
+            # present so determinism checks compare identical dicts).
+            **{
+                f"dropped_{cause}": float(self.network.stats.dropped_by_cause.get(cause, 0))
+                for cause in DROP_CAUSES
+            },
             "epochs_completed": float(sample.epochs_completed),
             "batches_committed": float(sample.batches_committed),
             "nil_committed": float(sample.nil_committed),
@@ -464,6 +604,10 @@ class Deployment:
             )
             stats["client_state_gc_entries_total"] = float(
                 sum(n.client_state_gc_entries for n in self.nodes)
+            )
+        if self.config.client_retry_timeout > 0:
+            stats["client_retries_total"] = float(
+                sum(c.requests_retried for c in self.clients)
             )
         if self.storages:
             stats["wal_appended_total"] = float(

@@ -49,12 +49,17 @@ from ..sim.faults import (
     RestartSpec,
     StragglerSpec,
 )
+from ..sim.chaos import LinkFaultSpec, PartitionSpec
 from ..workload.faults import (
     abusive_clients,
+    bridge_partition,
     byzantine_leaders,
     censorship_targets,
     epoch_end_crashes,
     epoch_start_crashes,
+    flapping_links,
+    minority_partition,
+    one_way_blocks,
     stragglers,
 )
 from .runner import Deployment
@@ -1050,6 +1055,321 @@ def watermark_stall(
             len(node.buckets.delivered) for node in result.nodes
         ),
     }
+
+
+# ---------------------------------------------------------------------------
+# Network-chaos scenarios — partitions, degraded links, client retry/backoff
+# ---------------------------------------------------------------------------
+
+#: Default flap periods swept by ``link_flap_sweep`` (``REPRO_FLAP_PERIODS``).
+DEFAULT_FLAP_PERIODS = (1.0, 2.0, 4.0)
+
+#: Default partition durations swept by ``bench_partition_heal.py``
+#: (``REPRO_PARTITION_DURATIONS``).
+DEFAULT_PARTITION_DURATIONS = (2.0, 5.0, 8.0)
+
+
+def partition_durations() -> Tuple[float, ...]:
+    """Partition durations swept by ``bench_partition_heal.py`` (env var
+    ``REPRO_PARTITION_DURATIONS``, comma-separated seconds).
+
+    Unparseable or empty values fall back to
+    :data:`DEFAULT_PARTITION_DURATIONS`.
+    """
+    raw = os.environ.get("REPRO_PARTITION_DURATIONS")
+    if raw is None:
+        return DEFAULT_PARTITION_DURATIONS
+    try:
+        durations = tuple(float(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        return DEFAULT_PARTITION_DURATIONS
+    return tuple(d for d in durations if d > 0) or DEFAULT_PARTITION_DURATIONS
+
+
+def flap_periods() -> Tuple[float, ...]:
+    """Flap periods swept by :func:`link_flap_sweep` (env var
+    ``REPRO_FLAP_PERIODS``, comma-separated seconds).
+
+    Unparseable or empty values fall back to :data:`DEFAULT_FLAP_PERIODS`.
+    """
+    raw = os.environ.get("REPRO_FLAP_PERIODS")
+    if raw is None:
+        return DEFAULT_FLAP_PERIODS
+    try:
+        periods = tuple(float(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        return DEFAULT_FLAP_PERIODS
+    return tuple(p for p in periods if p > 0) or DEFAULT_FLAP_PERIODS
+
+
+def chaos_config(protocol: str, num_nodes: int, **overrides) -> ISSConfig:
+    """Scenario configuration with graceful degradation armed.
+
+    On top of :func:`iss_config`: client responses on (retry completion is
+    the point), the client retry loop enabled (2 s initial timeout, ×2
+    backoff capped at 8 s, 10 % jitter), deterministic view-change
+    jitter so simultaneous partition stalls don't fire every instance's
+    timer in the same tick, and the stalled-epoch catch-up grace so a
+    node wedged by persistent message loss state-transfers out of it.
+    """
+    defaults = dict(
+        send_client_responses=True,
+        client_retry_timeout=2.0,
+        client_retry_backoff=2.0,
+        client_retry_max_timeout=8.0,
+        client_retry_jitter=0.1,
+        view_change_jitter=0.1,
+        stalled_catchup_grace=2.0,
+        vc_recovery=True,
+    )
+    defaults.update(overrides)
+    return iss_config(protocol, num_nodes, **defaults)
+
+
+def _chaos_row(result, duration: float) -> Dict[str, object]:
+    """Figures every chaos scenario reports, from one finished deployment."""
+    report = result.report
+    partitions = report.partitions
+    records = partitions.get("partitions", [])
+    live = [node for node in result.nodes if not node.crashed]
+    return {
+        "throughput": report.throughput,
+        "latency_mean": report.latency.mean,
+        "latency_p95": report.latency.p95,
+        "submitted": sum(c.requests_submitted for c in result.clients),
+        "completed": sum(c.requests_completed for c in result.clients),
+        "all_complete": all(
+            c.requests_completed == c.requests_submitted for c in result.clients
+        ),
+        "prefixes_identical": prefixes_identical(live),
+        "reconverged": all(r.get("time_to_reconverge", -1.0) >= 0.0 for r in records),
+        "time_to_reconverge": max(
+            (r.get("time_to_reconverge", -1.0) for r in records), default=0.0
+        ),
+        "view_changes_during": sum(r.get("view_changes_during", 0) for r in records),
+        "client_retries": partitions.get("client_retries_total", 0),
+        "drops_by_cause": partitions.get("drops_by_cause", {}),
+        "partition_records": records,
+        "link_faults": partitions.get("link_faults", []),
+    }
+
+
+def partition_point(
+    protocol: str,
+    num_nodes: int,
+    partition_specs: Sequence[PartitionSpec] = (),
+    link_fault_specs: Sequence[LinkFaultSpec] = (),
+    rate: float = 400.0,
+    duration: float = 15.0,
+    num_clients: int = 8,
+    seed: int = 42,
+    drain_time: float = 15.0,
+    **config_overrides,
+) -> Dict[str, object]:
+    """One run under a partition / link-fault schedule (shared harness of
+    every chaos scenario).
+
+    The generous ``drain_time`` gives the retry loop room to finish
+    requests that were in flight when the fault landed — 100 % completion
+    *through* retries is exactly what the scenarios assert.
+    """
+    config = chaos_config(protocol, num_nodes, random_seed=seed, **config_overrides)
+    deployment = Deployment(
+        config,
+        network_config=scaled_network(),
+        workload=_workload(rate, duration, clients=num_clients),
+        partition_specs=partition_specs,
+        link_fault_specs=link_fault_specs,
+        drain_time=drain_time,
+    )
+    result = deployment.run()
+    row = _chaos_row(result, duration)
+    row["protocol"] = protocol
+    row["nodes"] = num_nodes
+    return row
+
+
+def partition_minority(
+    protocol: str = PROTOCOL_PBFT,
+    num_nodes: int = 4,
+    rate: float = 400.0,
+    duration: float = 15.0,
+    partition_start: float = 3.0,
+    partition_duration: float = 6.0,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Isolate one node (a minority) mid-run, then heal (the canonical
+    partition experiment).
+
+    While split, the majority side keeps ordering (the minority node's
+    segment is filled with ⊥ after a view change) and clients ride out the
+    unreachable leader via retry/backoff; the minority node's jittered,
+    backed-off timers keep it from storming view changes it can't win.  On
+    heal the harness triggers state-transfer catch-up immediately, so
+    ``time_to_reconverge`` measures the state-transfer path, not an epoch
+    timer.
+    """
+    specs = minority_partition(
+        1, num_nodes, partition_start, partition_start + partition_duration
+    )
+    row = partition_point(
+        protocol, num_nodes, partition_specs=specs, rate=rate,
+        duration=duration, seed=seed,
+    )
+    row["scenario"] = "partition_minority"
+    row["partition_duration"] = partition_duration
+    return row
+
+
+def partition_bridge(
+    protocol: str = PROTOCOL_PBFT,
+    num_nodes: int = 5,
+    bridge: int = 2,
+    rate: float = 400.0,
+    duration: float = 15.0,
+    partition_start: float = 3.0,
+    partition_duration: float = 6.0,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Split the cluster into two halves connected only through ``bridge``.
+
+    Neither half alone has a strong quorum, so ordering stalls for the
+    partition window (graceful degradation: no equivocation, no divergence,
+    jittered timers); the bridge node keeps both sides' failure detectors
+    and checkpoints partially informed.  After heal everything reconverges
+    and every request completes through the retry loop.
+    """
+    specs = bridge_partition(
+        num_nodes, bridge, partition_start, partition_start + partition_duration
+    )
+    row = partition_point(
+        protocol, num_nodes, partition_specs=specs, rate=rate,
+        duration=duration, seed=seed,
+    )
+    row["scenario"] = "partition_bridge"
+    row["bridge"] = bridge
+    return row
+
+
+def asymmetric_link(
+    protocol: str = PROTOCOL_PBFT,
+    num_nodes: int = 4,
+    src: int = 0,
+    dst: int = 3,
+    rate: float = 400.0,
+    duration: float = 15.0,
+    block_start: float = 3.0,
+    block_duration: float = 6.0,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """One-way link failure: ``src`` cannot reach ``dst`` but ``dst`` still
+    reaches ``src`` — the asymmetric-connectivity case a symmetric
+    partition cannot express.
+
+    The cluster keeps a full quorum (only one direction of one link is
+    down), so ordering continues; the scenario shows protocol-level
+    redundancy (broadcasts, retransmissions, client retries) absorbing a
+    degraded mesh without any reconvergence machinery.
+    """
+    specs = one_way_blocks(
+        [(src, dst)], block_start, block_start + block_duration
+    )
+    row = partition_point(
+        protocol, num_nodes, link_fault_specs=specs, rate=rate,
+        duration=duration, seed=seed,
+    )
+    row["scenario"] = "asymmetric_link"
+    row["blocked_link"] = (src, dst)
+    return row
+
+
+def link_flap_sweep(
+    protocol: str = PROTOCOL_PBFT,
+    num_nodes: int = 4,
+    periods: Optional[Sequence[float]] = None,
+    flap_up: float = 0.5,
+    retransmit: float = 0.5,
+    rate: float = 400.0,
+    duration: float = 12.0,
+    seed: int = 42,
+) -> List[Dict[str, object]]:
+    """Throughput/latency as one link flaps faster and faster.
+
+    Both directions of the (0, top) link oscillate (up for ``flap_up`` of
+    each period); one row per period of ``periods`` (default
+    :func:`flap_periods`, env-overridable).  The flapping link rides a
+    reliable transport (payloads dropped in a down-window are re-offered
+    after ``retransmit`` seconds), so flapping costs latency rather than
+    correctness.  Without it a slow flap wedges the two endpoints: each
+    misses the other's pre-prepares, neither can be rescued by a view
+    change (a lone laggard never musters a view-change quorum), and with
+    two of four nodes stuck in epoch 0 no checkpoint quorum ever forms —
+    BFT message channels between correct nodes are assumed reliable.
+    """
+    if periods is None:
+        periods = flap_periods()
+    top = num_nodes - 1
+    rows: List[Dict[str, object]] = []
+    for period in periods:
+        specs = flapping_links(
+            [(0, top), (top, 0)], flap_period=period, flap_up=flap_up,
+            retransmit=retransmit, seed=seed,
+        )
+        row = partition_point(
+            protocol, num_nodes, link_fault_specs=specs, rate=rate,
+            duration=duration, seed=seed,
+        )
+        row["scenario"] = "link_flap_sweep"
+        row["flap_period"] = period
+        row["flap_up"] = flap_up
+        rows.append(row)
+    return rows
+
+
+def partition_heal_retry_storm(
+    protocol: str = PROTOCOL_PBFT,
+    num_nodes: int = 4,
+    rate: float = 400.0,
+    duration: float = 15.0,
+    partition_start: float = 3.0,
+    partition_duration: float = 6.0,
+    retry_timeout: float = 0.5,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Aggressive client retries against a partition: does backoff keep the
+    post-heal resubmission burst bounded?
+
+    Clients run a deliberately hot retry loop (0.5 s initial timeout).
+    Exponential backoff with a cap plus jitter keeps the total retry count
+    bounded — each stuck request resends at most ``log2(cap/timeout)``
+    times before settling at the capped rate — and the nodes' idempotent
+    bucket queues absorb the duplicates that race the heal.  The row
+    reports the retry total and the duplicate count so regressions in
+    either direction (retry storms, lost liveness) are visible.
+    """
+    specs = minority_partition(
+        1, num_nodes, partition_start, partition_start + partition_duration
+    )
+    config = chaos_config(
+        protocol, num_nodes, random_seed=seed, client_retry_timeout=retry_timeout
+    )
+    deployment = Deployment(
+        config,
+        network_config=scaled_network(),
+        workload=_workload(rate, duration),
+        partition_specs=specs,
+        drain_time=15.0,
+    )
+    result = deployment.run()
+    row = _chaos_row(result, duration)
+    row["scenario"] = "partition_heal_retry_storm"
+    row["protocol"] = protocol
+    row["nodes"] = num_nodes
+    row["retry_timeout"] = retry_timeout
+    row["duplicates_absorbed"] = sum(
+        sum(node.duplicate_requests.values()) for node in result.nodes
+    )
+    return row
 
 
 def epoch_length_ablation(

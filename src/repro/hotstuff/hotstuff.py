@@ -70,6 +70,7 @@ class HotStuffSB(SBInstance):
         self._qc_formed: Set[bytes] = set()
         #: Pacemaker state.
         self._round = 0
+        self._base_round_timeout = context.config.view_change_timeout
         self._round_timeout = context.config.view_change_timeout
         self._round_timer: Optional[Timer] = None
         self._new_round_msgs: Dict[int, Dict[NodeId, NewRound]] = {}
@@ -324,6 +325,10 @@ class HotStuffSB(SBInstance):
                 self._delivered_sns.add(ancestor.sn)
                 value = ancestor.value if ancestor.value is not None else NIL
                 self.context.deliver(ancestor.sn, value)
+        # Progress resets the pacemaker backoff: later stalls start from the
+        # base timeout instead of one inflated during a past outage.
+        if self.context.config.vc_recovery:
+            self._round_timeout = self._base_round_timeout
         if self._all_delivered():
             if self._round_timer is not None:
                 self._round_timer.cancel()
@@ -344,19 +349,37 @@ class HotStuffSB(SBInstance):
             return
         if self._round_timer is not None:
             self._round_timer.cancel()
-        self._round_timer = self.context.schedule(self._round_timeout, self._on_round_timeout)
+        # timeout_jitter() is 1.0 unless ISSConfig.view_change_jitter is set;
+        # with it, simultaneous stalls across nodes time out desynchronised.
+        self._round_timer = self.context.schedule(
+            self._round_timeout * self.context.timeout_jitter(), self._on_round_timeout
+        )
 
     def _on_round_timeout(self) -> None:
         if self._stopped or self._all_delivered():
             return
         self._round += 1
         self.rounds_changed += 1
+        self.context.note_view_change()
         self._round_timeout *= 2
         self._proposing_active = False
         self._awaiting_qc_digest = None
         message = NewRound(round=self._round, high_qc=self._high_qc)
         self.context.send(self.round_leader(self._round), message)
         self._arm_round_timer()
+
+    def nudge(self) -> None:
+        """Partition healed: advance the pacemaker now at base backoff.
+
+        The resulting NewRound hands our high QC to the next leader, and a
+        peer that already finished the segment answers with *its* high QC
+        (see :meth:`_on_new_round`), closing the three-chain for a node
+        that was cut off — no backed-off timer wait.
+        """
+        if self._stopped or self._all_delivered():
+            return
+        self._round_timeout = self._base_round_timeout
+        self._on_round_timeout()
 
     def _on_new_round(self, src: NodeId, message: NewRound) -> None:
         # Learn the carried QC first, independent of round bookkeeping: a

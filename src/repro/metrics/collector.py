@@ -84,6 +84,13 @@ class RunReport:
     #: ``abusers`` carries each abusive client's own attack counters (see
     #: :meth:`repro.sim.client_adversary.AbusiveClient.abuse_stats`).
     client_abuse: Dict[str, object] = field(default_factory=dict)
+    #: Network-chaos diagnostics, empty for runs without partitions or link
+    #: faults: ``partitions`` lists one record per scheduled partition
+    #: (groups, bridges, started_at/healed_at, laggards,
+    #: time_to_reconverge, view_changes_during), ``drops_by_cause`` maps
+    #: drop cause → payload count, ``link_faults`` carries per-link runtime
+    #: counters, ``client_retries_total`` sums the clients' retry loops.
+    partitions: Dict[str, object] = field(default_factory=dict)
 
 
 class MetricsCollector:
@@ -206,11 +213,13 @@ class MetricsCollector:
         extra: Optional[Dict[str, float]] = None,
         byzantine: Optional[Dict[str, object]] = None,
         client_abuse: Optional[Dict[str, object]] = None,
+        partitions: Optional[Dict[str, object]] = None,
     ) -> RunReport:
         """Summarise the run; ``byzantine`` carries the harness's per-node
         misbehaviour counters and is merged with the collector's own
         censored-bucket figures, ``client_abuse`` the per-client abuse
-        counters of runs with malicious clients."""
+        counters of runs with malicious clients, ``partitions`` the
+        network-chaos diagnostics of runs with partitions or link faults."""
         measured = max(1e-9, duration - self.warmup)
         completed = len(self._latencies)
         byz: Dict[str, object] = dict(byzantine or {})
@@ -232,4 +241,5 @@ class MetricsCollector:
             recoveries=[dict(r) for r in self._recoveries],
             byzantine=byz,
             client_abuse=dict(client_abuse or {}),
+            partitions=dict(partitions or {}),
         )

@@ -57,6 +57,7 @@ class PbftSB(SBInstance):
         }
         self._pacer = ProposalPacer(context, self._leader_propose)
         self._view_timer: Optional[Timer] = None
+        self._base_view_timeout = context.config.view_change_timeout
         self._view_timeout = context.config.view_change_timeout
         self._view_changes: Dict[ViewNr, Dict[NodeId, ViewChange]] = {}
         self._new_view_installed: Set[ViewNr] = set()
@@ -228,6 +229,12 @@ class PbftSB(SBInstance):
         slot.committed = True
         value = slot.value if slot.value is not None else NIL
         self.context.deliver(slot.sn, value)
+        # Progress resets the view-change backoff (standard PBFT rule): a
+        # commit proves the current configuration is live, so later stalls
+        # start from the base timeout instead of one inflated by view
+        # changes during a past outage.
+        if self.context.config.vc_recovery:
+            self._view_timeout = self._base_view_timeout
         if self._all_committed():
             if self._view_timer is not None:
                 self._view_timer.cancel()
@@ -241,7 +248,11 @@ class PbftSB(SBInstance):
             return
         if self._view_timer is not None:
             self._view_timer.cancel()
-        self._view_timer = self.context.schedule(self._view_timeout, self._on_view_timeout)
+        # timeout_jitter() is 1.0 unless ISSConfig.view_change_jitter is set;
+        # with it, simultaneous stalls across nodes time out desynchronised.
+        self._view_timer = self.context.schedule(
+            self._view_timeout * self.context.timeout_jitter(), self._on_view_timeout
+        )
 
     def _on_view_timeout(self) -> None:
         if self._stopped or self._all_committed():
@@ -250,14 +261,34 @@ class PbftSB(SBInstance):
         # targets the next view (standard PBFT liveness rule).
         self._start_view_change(max(self.view, self._highest_vc_sent) + 1)
 
+    def nudge(self) -> None:
+        """Partition healed: demand a view change immediately at base backoff.
+
+        The new view's NEW-VIEW message re-announces decided values and
+        committed peers re-affirm them (see :meth:`_on_new_view`), which is
+        what lets a node that missed whole agreement rounds while cut off
+        complete its log without waiting for a stable checkpoint.
+        """
+        if self._stopped or self._all_committed():
+            return
+        self._view_timeout = self._base_view_timeout
+        self._start_view_change(max(self.view, self._highest_vc_sent) + 1)
+
     def _start_view_change(self, new_view: ViewNr) -> None:
         if new_view <= self._highest_vc_sent:
             return
         self._highest_vc_sent = new_view
+        # With vc_recovery, committed slots stay in the proof set (committed
+        # implies prepared, textbook PBFT): a new primary that missed a
+        # commit round must still learn the decided value from the
+        # view-change quorum, or it would re-propose ⊥ against a value the
+        # rest already delivered.
+        include_committed = self.context.config.vc_recovery
         prepared = tuple(
             slot.prepared_proof
             for slot in self._slots.values()
-            if slot.prepared_proof is not None and not slot.committed
+            if slot.prepared_proof is not None
+            and (include_committed or not slot.committed)
         )
         message = ViewChange(new_view=new_view, prepared=prepared)
         self.context.broadcast(message)
@@ -285,6 +316,18 @@ class PbftSB(SBInstance):
         preprepares: List[PrePrepare] = []
         for sn, slot in self._slots.items():
             if slot.committed:
+                # With vc_recovery, re-announce the decided value: a
+                # follower that missed the commit round (lossy link,
+                # partition) has no other way to learn it before a stable
+                # checkpoint exists — and the checkpoint needs a quorum of
+                # *complete* logs first.
+                if self.context.config.vc_recovery:
+                    value = slot.value if slot.value is not None else NIL
+                    preprepares.append(
+                        PrePrepare(
+                            view=new_view, sn=sn, value=value, digest=value.digest()
+                        )
+                    )
                 continue
             best: Optional[PreparedProof] = None
             for vote in votes.values():
@@ -313,10 +356,26 @@ class PbftSB(SBInstance):
             return
         self.view = message.new_view
         self.view_changes_completed += 1
+        self.context.note_view_change()
         self._arm_view_timer()
         for preprepare in message.preprepares:
             slot = self._slots.get(preprepare.sn)
-            if slot is None or slot.committed:
+            if slot is None:
+                continue
+            if slot.committed:
+                # With vc_recovery, re-affirm the decided digest in the new
+                # view so followers that missed the original commit round
+                # can assemble a commit quorum (the primary's re-announced
+                # pre-prepare gives them the value; these votes give them
+                # the proof).
+                if not self.context.config.vc_recovery:
+                    continue
+                digest = (slot.value if slot.value is not None else NIL).digest()
+                if digest == preprepare.digest and message.new_view not in slot.commit_sent:
+                    slot.commit_sent.add(message.new_view)
+                    self.context.broadcast(
+                        Commit(view=message.new_view, sn=slot.sn, digest=digest)
+                    )
                 continue
             # Install the new-view pre-prepare: ⊥ always allowed; a real
             # batch only if it matches a known prepared proof or passes

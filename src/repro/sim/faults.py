@@ -35,6 +35,16 @@ builds an :class:`~repro.sim.client_adversary.AbusiveClient` for every
 spec'd client id and registers it here so ``start_time`` activation runs
 through the same scheduling path as the replica-side adversaries.
 
+The fifth member of the fault-spec family makes the *network itself* the
+adversary: :class:`~repro.sim.chaos.PartitionSpec` (scheduled split →
+heal) and :class:`~repro.sim.chaos.LinkFaultSpec` (per-link directional
+degradation) are defined in :mod:`repro.sim.chaos` and scheduled here,
+through the same injector, so partitions and degraded links compose with
+every node- and client-level fault.  When a partition heals the injector
+fires :attr:`FaultInjector.on_partition_heal` — the harness hooks the
+state-transfer catch-up there so nodes that fell behind while cut off
+reconverge immediately instead of waiting out an epoch timer.
+
 Crash/restart/adversary scheduling lives here (it is purely a
 network/timing concern); straggler and censorship behaviour is
 implemented inside the ISS node (:class:`repro.core.iss.ISSNode` honours
@@ -47,6 +57,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.types import BucketId, ClientId, EpochNr, NodeId
+from .chaos import ActiveLinkFault, LinkFaultSpec, PartitionSpec
 from .network import Network
 from .simulator import Simulator
 
@@ -253,11 +264,28 @@ class FaultInjector:
         self._abusive_clients: Dict[ClientId, object] = {}
         self._epoch_start_watch: Dict[NodeId, List[CrashSpec]] = {}
         self._epoch_end_watch: Dict[NodeId, List[CrashSpec]] = {}
+        self._partition_specs: List[PartitionSpec] = []
+        #: One record per scheduled partition (started_at/healed_at filled in
+        #: as the schedule executes; the harness appends reconvergence data).
+        self._partition_records: List[Dict[str, object]] = []
+        self._link_fault_specs: List[LinkFaultSpec] = []
+        #: Runtime handles of installed link faults, kept after removal so
+        #: their drop/duplicate counters survive into the report.
+        self._link_fault_runtimes: List[ActiveLinkFault] = []
         #: Called right after a node is crashed (e.g. to stop its timers).
         self.on_crash: Optional[Callable[[NodeId], None]] = None
         #: Called right after a node's endpoint is reconnected; the harness
         #: rebuilds the node from storage here (recovery manager + restart).
         self.on_restart: Optional[Callable[[NodeId], None]] = None
+        #: Called right after a partition is applied: ``fn(spec, record)``.
+        self.on_partition_start: Optional[
+            Callable[[PartitionSpec, Dict[str, object]], None]
+        ] = None
+        #: Called right after a partition heals: ``fn(spec, record)``.  The
+        #: harness triggers the lagging nodes' state-transfer catch-up here.
+        self.on_partition_heal: Optional[
+            Callable[[PartitionSpec, Dict[str, object]], None]
+        ] = None
 
     # ------------------------------------------------------------- schedule
     def schedule(self, spec: CrashSpec) -> None:
@@ -337,6 +365,84 @@ class FaultInjector:
         else:
             self.sim.schedule_at(start, client.activate_abuse)
 
+    # ------------------------------------------------------- network chaos
+    def schedule_partition(self, spec: PartitionSpec) -> None:
+        """Arm one :class:`~repro.sim.chaos.PartitionSpec`: split at
+        ``start_time``, heal at ``heal_time``.
+
+        The network supports one partition at a time, so overlapping specs
+        are rejected here rather than silently replacing each other.
+        """
+        for other in self._partition_specs:
+            if spec.start_time < other.heal_time and other.start_time < spec.heal_time:
+                raise ValueError(
+                    f"partition [{spec.start_time}, {spec.heal_time}) overlaps "
+                    f"scheduled partition [{other.start_time}, {other.heal_time})"
+                )
+        self._partition_specs.append(spec)
+        record: Dict[str, object] = {
+            "groups": [list(group) for group in spec.groups],
+            "bridges": list(spec.bridges),
+            "scheduled_start": spec.start_time,
+            "scheduled_heal": spec.heal_time,
+            "started_at": -1.0,
+            "healed_at": -1.0,
+        }
+        self._partition_records.append(record)
+        self.sim.schedule_at(
+            spec.start_time, lambda: self.partition_now(spec, record)
+        )
+        self.sim.schedule_at(
+            spec.heal_time, lambda: self.heal_partition_now(spec, record)
+        )
+
+    def schedule_partitions(self, specs: Sequence[PartitionSpec]) -> None:
+        for spec in specs:
+            self.schedule_partition(spec)
+
+    def partition_now(self, spec: PartitionSpec, record: Dict[str, object]) -> None:
+        """Apply a scheduled partition (the split side of the schedule)."""
+        self.network.partition(spec.groups, bridges=spec.bridges)
+        record["started_at"] = self.sim.now
+        if self.on_partition_start is not None:
+            self.on_partition_start(spec, record)
+
+    def heal_partition_now(self, spec: PartitionSpec, record: Dict[str, object]) -> None:
+        """Heal a scheduled partition and notify the harness.
+
+        The notification is what makes healing more than a connectivity
+        change: the harness's hook sends the ``LATEST_STABLE`` state-transfer
+        probes for every node that fell behind, so reconvergence starts
+        immediately instead of waiting for the next checkpoint broadcast or
+        epoch timer.
+        """
+        self.network.heal_partition()
+        record["healed_at"] = self.sim.now
+        if self.on_partition_heal is not None:
+            self.on_partition_heal(spec, record)
+
+    def schedule_link_fault(self, spec: LinkFaultSpec) -> None:
+        """Arm one :class:`~repro.sim.chaos.LinkFaultSpec`: install at
+        ``start_time``, remove at ``end_time`` (if finite)."""
+        self._link_fault_specs.append(spec)
+
+        def install() -> None:
+            fault = self.network.install_link_fault(spec)
+            self._link_fault_runtimes.append(fault)
+            if spec.end_time != float("inf"):
+                self.sim.schedule_at(
+                    spec.end_time, lambda: self.network.remove_link_fault(fault)
+                )
+
+        if spec.start_time <= self.sim.now:
+            install()
+        else:
+            self.sim.schedule_at(spec.start_time, install)
+
+    def schedule_link_faults(self, specs: Sequence[LinkFaultSpec]) -> None:
+        for spec in specs:
+            self.schedule_link_fault(spec)
+
     # ---------------------------------------------------------------- hooks
     def notify_epoch_start(self, node: NodeId, epoch: EpochNr) -> None:
         """Called by the ISS node when ``epoch`` starts locally."""
@@ -405,3 +511,13 @@ class FaultInjector:
         """The registered abusive client process for ``client_id`` (None for
         clients without a malicious spec)."""
         return self._abusive_clients.get(client_id)
+
+    def partition_records(self) -> List[Dict[str, object]]:
+        """One record per scheduled partition (shared dicts: the harness
+        appends reconvergence figures to them as they become known)."""
+        return self._partition_records
+
+    def link_fault_stats(self) -> List[Dict[str, object]]:
+        """Per-installed-link-fault drop/duplicate counters (stable order:
+        installation order)."""
+        return [fault.stats() for fault in self._link_fault_runtimes]

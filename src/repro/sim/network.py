@@ -35,6 +35,16 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 from ..core.config import NetworkConfig
 from ..core.types import NodeId
 from .batching import MessageBatcher, MessageBatchMsg, is_batchable
+from .chaos import (
+    DROP_CRASH,
+    DROP_LINK_FAULT,
+    DROP_LINK_FILTER,
+    DROP_NO_HANDLER,
+    DROP_PARTITION,
+    DROP_RANDOM,
+    ActiveLinkFault,
+    LinkFaultSpec,
+)
 from .latency import LatencyModel
 from .simulator import Simulator
 
@@ -94,12 +104,21 @@ class NetworkStats:
     payloads_batched: int = 0
     per_node_bytes_sent: Counter = field(default_factory=Counter)
     per_node_messages_sent: Counter = field(default_factory=Counter)
+    #: ``messages_dropped`` broken down by cause (see
+    #: :data:`repro.sim.chaos.DROP_CAUSES`: crash / partition / link-filter /
+    #: random / link-fault / no-handler), so scenarios can tell a partition
+    #: drop from a lossy link from a crashed peer.
+    dropped_by_cause: Counter = field(default_factory=Counter)
 
     def record_send(self, src: NodeId, size: int) -> None:
         self.messages_sent += 1
         self.bytes_sent += size
         self.per_node_bytes_sent[src] += size
         self.per_node_messages_sent[src] += 1
+
+    def record_drop(self, cause: str) -> None:
+        self.messages_dropped += 1
+        self.dropped_by_cause[cause] += 1
 
 
 class Network:
@@ -123,6 +142,11 @@ class Network:
         self._crashed: Set[NodeId] = set()
         #: Current partition: a node-to-group mapping; messages across groups drop.
         self._partition_group: Dict[NodeId, int] = {}
+        #: Bridge endpoints of the current partition: connected to every group.
+        self._partition_bridges: Set[NodeId] = set()
+        #: Installed link faults per directed link (see :mod:`repro.sim.chaos`);
+        #: empty in chaos-free runs, so the hot path pays one truthiness test.
+        self._link_faults: Dict[Tuple[NodeId, NodeId], List[ActiveLinkFault]] = {}
         self._link_filters: List[LinkFilter] = []
         #: Adversarial send hooks by node (empty in non-Byzantine runs, so
         #: the hot path pays one truthiness test).
@@ -172,20 +196,58 @@ class Network:
     def is_crashed(self, node: NodeId) -> bool:
         return node in self._crashed
 
-    def partition(self, groups: Iterable[Iterable[NodeId]]) -> None:
+    def partition(
+        self,
+        groups: Iterable[Iterable[NodeId]],
+        bridges: Iterable[NodeId] = (),
+    ) -> None:
         """Partition endpoints into isolated groups; inter-group traffic drops.
 
         Endpoints not mentioned in any group stay fully connected to each
         other and to the *first* group (group 0), mirroring the common
-        "minority cut off" scenario.
+        "minority cut off" scenario.  ``bridges`` stay connected to *every*
+        group (a router that still sees both sides); traffic to or from a
+        bridge always passes.
         """
         self._partition_group = {}
+        self._partition_bridges = set(bridges)
         for index, group in enumerate(groups):
             for node in group:
                 self._partition_group[node] = index
 
     def heal_partition(self) -> None:
+        """Drop the current partition.
+
+        This is purely a connectivity change: nodes that fell behind while
+        cut off do *not* magically catch up — the fault injector's heal path
+        (see :meth:`repro.sim.faults.FaultInjector.heal_partition_now`)
+        notifies the harness, which triggers the state-transfer catch-up.
+        """
         self._partition_group = {}
+        self._partition_bridges = set()
+
+    def install_link_fault(self, spec: LinkFaultSpec) -> ActiveLinkFault:
+        """Install one directional link fault, active immediately.
+
+        Scheduling (activation at ``spec.start_time``, removal at
+        ``spec.end_time``) is the fault injector's job; installing directly
+        means "active now".  Returns the runtime handle (counters + RNG) for
+        :meth:`remove_link_fault` and reporting.
+        """
+        fault = ActiveLinkFault(spec)
+        self._link_faults.setdefault((spec.src, spec.dst), []).append(fault)
+        return fault
+
+    def remove_link_fault(self, fault: ActiveLinkFault) -> None:
+        """Remove an installed link fault (the link heals)."""
+        key = (fault.spec.src, fault.spec.dst)
+        faults = self._link_faults.get(key)
+        if not faults:
+            return
+        if fault in faults:
+            faults.remove(fault)
+        if not faults:
+            del self._link_faults[key]
 
     def set_adversary(self, node: NodeId, hook: AdversarialSendHook) -> None:
         """Install an adversarial send hook for ``node`` (Byzantine faults).
@@ -217,6 +279,9 @@ class Network:
 
     def _blocked_by_partition(self, src: NodeId, dst: NodeId) -> bool:
         if not self._partition_group:
+            return False
+        bridges = self._partition_bridges
+        if bridges and (src in bridges or dst in bridges):
             return False
         group_src = self._partition_group.get(src, 0)
         group_dst = self._partition_group.get(dst, 0)
@@ -265,13 +330,58 @@ class Network:
         message: object,
         size_bytes: Optional[int] = None,
     ) -> None:
-        """Post-adversary send path: batching detour or immediate send."""
+        """Post-adversary send path: link faults first, then forwarding.
+
+        Link-fault drop and duplication decisions run here — per payload,
+        before the batching detour — so a lossy or flapping link acts on
+        individual messages and can never be hidden (or amplified wholesale)
+        by a coalesced wire frame.  Extra copies re-enter the forward path
+        like honestly sent duplicates.
+        """
+        if self._link_faults and src != dst:
+            faults = self._link_faults.get((src, dst))
+            if faults:
+                now = self.sim.now
+                for fault in faults:
+                    if fault.drops(now):
+                        self.stats.record_drop(DROP_LINK_FAULT)
+                        retry = fault.spec.retransmit
+                        if retry > 0:
+                            # Reliable-transport model (TCP under packet
+                            # loss): the payload is lost on the wire but the
+                            # sender's transport re-offers it after the
+                            # retransmission timeout, re-subjected to the
+                            # link's chaos (so repeated loss keeps backing
+                            # it up until the link lets it through).
+                            fault.payloads_retransmitted += 1
+                            self.sim.schedule_callback(
+                                retry,
+                                lambda: self._dispatch(src, dst, message, size_bytes),
+                            )
+                        return
+                for fault in faults:
+                    if fault.duplicates():
+                        self._forward(src, dst, message, size_bytes)
+        self._forward(src, dst, message, size_bytes)
+
+    def _forward(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: object,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        """Fault-cleared send path: batching detour or immediate send."""
         batcher = self.batcher
         if batcher is not None and src != dst and is_batchable(message):
-            # Link filters are a per-*message* contract, so they run here —
-            # on the payload, before it can hide inside a coalesced frame.
+            # Partition blocks and link filters are a per-*message* contract,
+            # so they run here — on the payload, before it can hide inside a
+            # coalesced frame.
+            if self._partition_group and self._blocked_by_partition(src, dst):
+                self.stats.record_drop(DROP_PARTITION)
+                return
             if self._link_filters and not self._passes_filters(src, dst, message):
-                self.stats.messages_dropped += 1
+                self.stats.record_drop(DROP_LINK_FILTER)
                 return
             batcher.enqueue(src, dst, message)
             return
@@ -294,20 +404,23 @@ class Network:
 
         # Fault checks, each reduced to one truthiness test when inactive.
         if self._crashed and (src in self._crashed or dst in self._crashed):
-            stats.messages_dropped += 1
+            stats.record_drop(DROP_CRASH)
             return
+        # Frames re-check the partition at flush time: payloads enqueued
+        # before the split are still in the sender's buffer, and the wire
+        # transmission itself is what the partition blocks.
         if self._partition_group and self._blocked_by_partition(src, dst):
-            stats.messages_dropped += 1
+            stats.record_drop(DROP_PARTITION)
             return
         # Coalesced frames skip the filter loop: each payload already passed
         # it individually at enqueue time.
         if self._link_filters and message.__class__ is not MessageBatchMsg:
             if not self._passes_filters(src, dst, message):
-                stats.messages_dropped += 1
+                stats.record_drop(DROP_LINK_FILTER)
                 return
         config = self.config
         if config.drop_rate > 0 and self._rng.random() < config.drop_rate:
-            stats.messages_dropped += 1
+            stats.record_drop(DROP_RANDOM)
             return
 
         # NIC serialisation at the sender: back-to-back messages queue up.
@@ -324,6 +437,14 @@ class Network:
         else:
             propagation = self.latency.sample_latency(src, dst, self._rng)
             arrival = departure + propagation + config.processing_delay
+            if self._link_faults:
+                # Degraded-link extra delay applies per wire message (frames
+                # included): a slow link delays whole transmissions, which is
+                # what reorders them against other traffic.
+                faults = self._link_faults.get((src, dst))
+                if faults:
+                    for fault in faults:
+                        arrival += fault.extra_delay()
 
         # Allocation-free delivery scheduling (no Timer handle needed).
         delay = arrival - now
@@ -341,11 +462,11 @@ class Network:
 
     def _deliver(self, src: NodeId, dst: NodeId, message: object) -> None:
         if self._crashed and (dst in self._crashed or src in self._crashed):
-            self.stats.messages_dropped += 1
+            self.stats.record_drop(DROP_CRASH)
             return
         handler = self._handlers.get(dst)
         if handler is None:
-            self.stats.messages_dropped += 1
+            self.stats.record_drop(DROP_NO_HANDLER)
             return
         if message.__class__ is MessageBatchMsg:
             # Unpack the wire frame: every coalesced payload reaches the

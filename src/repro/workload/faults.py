@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..sim.chaos import LinkFaultSpec, PartitionSpec, symmetric_split
 from ..sim.faults import (
     BYZ_CENSOR,
     BYZ_EQUIVOCATE,
@@ -135,6 +136,127 @@ def censorship_targets(num_buckets: int, count: int = 4) -> List[BucketId]:
     if not 0 < count <= num_buckets:
         raise ValueError("count must be in (0, num_buckets]")
     return list(range(count))
+
+
+def minority_partition(
+    count: int, num_nodes: int, start_time: float, heal_time: float
+) -> List[PartitionSpec]:
+    """Isolate the ``count`` highest-numbered nodes (a minority) from the
+    rest between ``start_time`` and ``heal_time``.
+
+    Victims are counted down from the top like every other schedule
+    builder, so node 0 — and the majority quorum that keeps ordering —
+    stay connected.  ``count`` must leave a strong quorum on the majority
+    side or the whole cluster (correctly) stalls instead of degrading.
+    """
+    _check_count(count, num_nodes)
+    minority = tuple(num_nodes - 1 - i for i in range(count))
+    majority = tuple(n for n in range(num_nodes) if n not in minority)
+    return [symmetric_split(majority, minority, start_time, heal_time)]
+
+
+def bridge_partition(
+    num_nodes: int, bridge: NodeId, start_time: float, heal_time: float
+) -> List[PartitionSpec]:
+    """Split the cluster into two halves that can only talk through
+    ``bridge`` — the classic mis-set-firewall topology where connectivity
+    is transitive at the routing layer but not at the TCP mesh.
+
+    Nodes below ``bridge`` form one group, nodes above the other; the
+    bridge node itself keeps links to everyone.
+    """
+    if not 0 <= bridge < num_nodes:
+        raise ValueError("bridge node outside the deployment")
+    low = tuple(range(0, bridge))
+    high = tuple(range(bridge + 1, num_nodes))
+    if not low or not high:
+        raise ValueError("bridge must have nodes on both sides")
+    return [
+        PartitionSpec(
+            groups=(low, high),
+            start_time=start_time,
+            heal_time=heal_time,
+            bridges=(bridge,),
+        )
+    ]
+
+
+def one_way_blocks(
+    pairs: Sequence[tuple], start_time: float, end_time: float
+) -> List[LinkFaultSpec]:
+    """Directionally block the ``(src, dst)`` links in ``pairs`` — the
+    asymmetric-connectivity case (A reaches B, B cannot reach A) that
+    symmetric partitions cannot express."""
+    return [
+        LinkFaultSpec(
+            src=src, dst=dst, start_time=start_time, end_time=end_time, block=True
+        )
+        for src, dst in pairs
+    ]
+
+
+def flapping_links(
+    pairs: Sequence[tuple],
+    flap_period: float,
+    flap_up: float = 0.5,
+    start_time: float = 0.0,
+    end_time: float = float("inf"),
+    retransmit: float = 0.0,
+    seed: int = 0,
+) -> List[LinkFaultSpec]:
+    """Links that oscillate between up and down on a deterministic schedule
+    (``flap_period`` seconds per cycle, up for the first ``flap_up``
+    fraction of each).  ``retransmit`` > 0 re-offers payloads lost to a
+    down window after that many seconds (a reliable transport riding out
+    the flaps)."""
+    return [
+        LinkFaultSpec(
+            src=src,
+            dst=dst,
+            start_time=start_time,
+            end_time=end_time,
+            flap_period=flap_period,
+            flap_up=flap_up,
+            retransmit=retransmit,
+            seed=seed,
+        )
+        for src, dst in pairs
+    ]
+
+
+def lossy_links(
+    pairs: Sequence[tuple],
+    loss_rate: float,
+    duplicate_rate: float = 0.0,
+    extra_delay: float = 0.0,
+    start_time: float = 0.0,
+    end_time: float = float("inf"),
+    retransmit: float = 0.0,
+    seed: int = 0,
+) -> List[LinkFaultSpec]:
+    """Degraded (not severed) links: per-payload loss, duplication and
+    added delay, with a deterministic per-link RNG derived from ``seed``.
+
+    ``retransmit`` > 0 puts a reliable transport under the loss (dropped
+    payloads are re-offered after that many seconds), which is the
+    deployment-faithful configuration: BFT protocols assume channels
+    between correct nodes eventually deliver.  Leave it 0 to model raw
+    datagram loss and stress the recovery machinery instead.
+    """
+    return [
+        LinkFaultSpec(
+            src=src,
+            dst=dst,
+            start_time=start_time,
+            end_time=end_time,
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+            extra_delay=extra_delay,
+            retransmit=retransmit,
+            seed=seed,
+        )
+        for src, dst in pairs
+    ]
 
 
 def _check_count(count: int, num_nodes: int) -> None:
