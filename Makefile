@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check perf-smoke recovery-smoke byzantine-smoke client-abuse-smoke partition-smoke bench
+.PHONY: test docs-check perf-smoke recovery-smoke byzantine-smoke client-abuse-smoke partition-smoke fuzz-smoke fig5-smoke bench
 
 # Tier-1 test suite (the CI gate; see ROADMAP.md).
 test:
@@ -47,6 +47,18 @@ client-abuse-smoke:
 # Writes BENCH_partition_heal.json.
 partition-smoke:
 	$(PYTHON) -m repro.partition_smoke
+
+# Seeded random scenarios on both simulator engines: safety invariants must
+# hold and the engines must stay bit-identical (see repro.fuzz_smoke).
+fuzz-smoke:
+	$(PYTHON) -m repro.fuzz_smoke
+
+# Fig. 5 engine sweep at small node counts: single-queue vs sharded engine,
+# both must agree on every counted figure.  Writes BENCH_fig5_smoke.json;
+# drop --smoke (or set REPRO_FIG5_NODES) for the full sweep to
+# BENCH_fig5.json (see benchmarks/bench_fig5_scalability.py).
+fig5-smoke:
+	$(PYTHON) benchmarks/bench_fig5_scalability.py --smoke
 
 # Hot-path microbenchmarks (diagnose what perf-smoke flags).
 bench:

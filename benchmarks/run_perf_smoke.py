@@ -24,6 +24,12 @@ Runs, in order:
   laggard must reconverge via state transfer at heal, and the run must
   replay deterministically against the partition golden trace (writes
   ``BENCH_partition_heal.json``),
+* ``python -m repro.fuzz_smoke`` (reduced count) — seeded random
+  scenarios run on both simulator engines; safety invariants must hold
+  and the engines must stay bit-identical,
+* ``benchmarks/bench_fig5_scalability.py --smoke`` — the Fig. 5 engine
+  sweep at small node counts; the two engines must agree on every
+  counted figure (writes ``BENCH_fig5.json``),
 * ``python -m repro.doccheck`` — docstring audit + README and
   docs/SCENARIOS.md code-block execution.
 
@@ -41,12 +47,17 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
 from repro.byzantine_smoke import main as byzantine_main  # noqa: E402
 from repro.client_abuse_smoke import main as client_abuse_main  # noqa: E402
 from repro.doccheck import main as doccheck_main  # noqa: E402
+from repro.fuzz_smoke import main as fuzz_main  # noqa: E402
 from repro.partition_smoke import main as partition_main  # noqa: E402
 from repro.perf_smoke import main as perf_main  # noqa: E402
 from repro.recovery_smoke import main as recovery_main  # noqa: E402
+
+from bench_fig5_scalability import main as fig5_main  # noqa: E402
 
 if __name__ == "__main__":
     perf_status = perf_main()
@@ -54,6 +65,8 @@ if __name__ == "__main__":
     byzantine_status = byzantine_main([])
     client_abuse_status = client_abuse_main([])
     partition_status = partition_main([])
+    fuzz_status = fuzz_main(["--count", "6"])
+    fig5_status = fig5_main(["--smoke"])
     doc_status = doccheck_main([])
     sys.exit(
         perf_status
@@ -61,5 +74,7 @@ if __name__ == "__main__":
         or byzantine_status
         or client_abuse_status
         or partition_status
+        or fuzz_status
+        or fig5_status
         or doc_status
     )

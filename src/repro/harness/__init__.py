@@ -1,6 +1,7 @@
 """Experiment harness: deployments and per-figure scenarios."""
 
 from .runner import Deployment, DeploymentResult, run_experiment, find_peak_throughput
+from . import invariants
 from . import scenarios
 
 __all__ = [
@@ -8,5 +9,6 @@ __all__ = [
     "DeploymentResult",
     "run_experiment",
     "find_peak_throughput",
+    "invariants",
     "scenarios",
 ]

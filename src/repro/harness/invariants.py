@@ -1,0 +1,178 @@
+"""Standing invariants every run must satisfy, engine and scenario aside.
+
+The smoke gates, the scenario fuzzer and the cross-engine differential
+tests all assert the same safety properties — delivered prefixes agree,
+no request is delivered twice, forged signatures never outnumber the
+rejections that caught them.  This module owns those checks once, so a
+new gate cannot quietly redefine what (say) "no double delivery" means.
+
+Two layers:
+
+* per-run checks (:func:`check_invariants`) — safety properties of one
+  :class:`~repro.harness.runner.DeploymentResult`;
+* cross-run equivalence (:func:`assert_runs_equivalent`) — the bit-identity
+  contract between the single-queue and sharded engines: identical
+  delivered traces per node, identical event/message counters, identical
+  completion figures.
+
+All checkers return a list of human-readable violation strings (empty =
+clean); the ``assert_*`` wrappers raise ``AssertionError`` with the full
+list, which is the form the tests and ``python -m repro.fuzz_smoke`` use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.types import Batch
+from ..golden import delivered_trace
+
+
+def delivered_rids(node) -> List[object]:
+    """Request ids in the node's delivered prefix, in delivery order.
+
+    Nil entries contribute nothing; a request id appearing twice in this
+    list is a double delivery (total-order violation).
+    """
+    return [
+        request.rid
+        for sn in range(node.log.first_undelivered)
+        for entry in [node.log.entry(sn)]
+        if isinstance(entry, Batch)
+        for request in entry.requests
+    ]
+
+
+def check_no_double_delivery(nodes) -> List[str]:
+    """No node's delivered prefix may contain the same request twice."""
+    violations = []
+    for node in nodes:
+        rids = delivered_rids(node)
+        if len(rids) != len(set(rids)):
+            dupes = len(rids) - len(set(rids))
+            violations.append(
+                f"node {node.node_id}: {dupes} duplicate request(s) in the "
+                f"delivered prefix"
+            )
+    return violations
+
+
+def check_prefix_identity(nodes) -> List[str]:
+    """Live nodes must agree on the common prefix of their delivered logs.
+
+    Crashed nodes are skipped (their incarnation stopped mid-prefix); for
+    every live pair the shorter delivered trace must be a prefix of the
+    longer one, entry digests included.
+    """
+    live = [node for node in nodes if not node.crashed]
+    if len(live) < 2:
+        return []
+    violations = []
+    reference = max(live, key=lambda node: node.log.first_undelivered)
+    ref_trace = delivered_trace(reference)
+    for node in live:
+        if node is reference:
+            continue
+        trace = delivered_trace(node)
+        if trace != ref_trace[: len(trace)]:
+            violations.append(
+                f"node {node.node_id}: delivered prefix diverges from node "
+                f"{reference.node_id} within the first {len(trace)} entries"
+            )
+    return violations
+
+
+def check_completed_within_submitted(report) -> List[str]:
+    """A run can never complete more requests than were submitted."""
+    if report.completed > report.submitted:
+        return [
+            f"completed {report.completed} requests but only "
+            f"{report.submitted} were submitted"
+        ]
+    return []
+
+
+def check_rejections_cover_forgeries(result) -> List[str]:
+    """Forged signatures must be caught: rejections ≥ forged submissions.
+
+    Every forged-signature request an abusive client managed to send must
+    show up as at least one invalid-signature rejection somewhere in the
+    cluster (nodes validate independently, so rejections typically exceed
+    forgeries).  Runs without abusive clients trivially satisfy this with
+    0 ≥ 0.
+    """
+    abuse = result.report.client_abuse
+    forged = sum(
+        int(stats.get("forged_sent", 0))
+        for stats in (abuse.get("abusers") or {}).values()
+    )
+    if forged == 0:
+        return []
+    rejected = sum(node.invalid_signatures_rejected() for node in result.nodes)
+    if rejected < forged:
+        return [
+            f"abusive clients sent {forged} forged signatures but the "
+            f"cluster only rejected {rejected}"
+        ]
+    return []
+
+
+def check_invariants(result) -> List[str]:
+    """All per-run safety checks over one DeploymentResult (empty = clean)."""
+    return (
+        check_prefix_identity(result.nodes)
+        + check_no_double_delivery(result.nodes)
+        + check_completed_within_submitted(result.report)
+        + check_rejections_cover_forgeries(result)
+    )
+
+
+def assert_invariants(result, context: str = "") -> None:
+    """Raise ``AssertionError`` listing every violated per-run invariant."""
+    violations = check_invariants(result)
+    if violations:
+        prefix = f"{context}: " if context else ""
+        raise AssertionError(prefix + "; ".join(violations))
+
+
+def check_runs_equivalent(a, b) -> List[str]:
+    """Bit-identity contract between two runs of the same scenario.
+
+    ``a`` and ``b`` are DeploymentResults from different engines (or the
+    same engine twice, for determinism checks).  Equivalence means: the
+    same per-node delivered trace — sequence numbers and entry digests —
+    plus identical submitted/completed counts and identical simulator and
+    network totals (``events_executed``, ``messages_sent``, payload
+    counters).  The counters are included deliberately: the sharded engine
+    claims the *same schedule*, not just the same outcome.
+    """
+    violations = []
+    if len(a.nodes) != len(b.nodes):
+        return [f"node counts differ: {len(a.nodes)} vs {len(b.nodes)}"]
+    for node_a, node_b in zip(a.nodes, b.nodes):
+        if delivered_trace(node_a) != delivered_trace(node_b):
+            violations.append(
+                f"node {node_a.node_id}: delivered traces differ between runs"
+            )
+    for key in ("submitted", "completed"):
+        va, vb = getattr(a.report, key), getattr(b.report, key)
+        if va != vb:
+            violations.append(f"{key} differs: {va} vs {vb}")
+    for key in ("sim_events", "messages_sent", "bytes_sent", "messages_dropped"):
+        va, vb = a.report.extra.get(key), b.report.extra.get(key)
+        if va != vb:
+            violations.append(f"extra[{key!r}] differs: {va} vs {vb}")
+    stats_a, stats_b = a.network.stats, b.network.stats
+    for key in ("messages_delivered", "batches_sent", "payloads_batched"):
+        va, vb = getattr(stats_a, key), getattr(stats_b, key)
+        if va != vb:
+            violations.append(f"network stats {key} differs: {va} vs {vb}")
+    return violations
+
+
+def assert_runs_equivalent(a, b, context: str = "") -> None:
+    """Raise ``AssertionError`` listing every cross-run divergence."""
+    violations = check_runs_equivalent(a, b)
+    if violations:
+        prefix = f"{context}: " if context else ""
+        raise AssertionError(prefix + "; ".join(violations))

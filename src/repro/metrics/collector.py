@@ -64,6 +64,11 @@ class RunReport:
     completed: int
     throughput: float
     latency: LatencySummary
+    #: Simulator engine that produced this report (``"single"`` or
+    #: ``"sharded"``) — recorded so downstream golden-trace gates can refuse
+    #: to compare runs across engines instead of failing with an opaque
+    #: diff when wall-clock-dependent figures differ.
+    engine: str = "single"
     #: Requests completed per one-second interval (Figure 9/10/12 style).
     throughput_timeline: List[Tuple[float, float]] = field(default_factory=list)
     #: Free-form counters (view changes, epochs, traffic...).
@@ -214,12 +219,14 @@ class MetricsCollector:
         byzantine: Optional[Dict[str, object]] = None,
         client_abuse: Optional[Dict[str, object]] = None,
         partitions: Optional[Dict[str, object]] = None,
+        engine: str = "single",
     ) -> RunReport:
         """Summarise the run; ``byzantine`` carries the harness's per-node
         misbehaviour counters and is merged with the collector's own
         censored-bucket figures, ``client_abuse`` the per-client abuse
         counters of runs with malicious clients, ``partitions`` the
-        network-chaos diagnostics of runs with partitions or link faults."""
+        network-chaos diagnostics of runs with partitions or link faults,
+        ``engine`` names the simulator engine that produced the run."""
         measured = max(1e-9, duration - self.warmup)
         completed = len(self._latencies)
         byz: Dict[str, object] = dict(byzantine or {})
@@ -232,6 +239,7 @@ class MetricsCollector:
             }
         return RunReport(
             duration=duration,
+            engine=engine,
             submitted=self.submitted_count(),
             completed=completed,
             throughput=completed / measured,

@@ -34,7 +34,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional
 
-from .core.config import ISSConfig, NetworkConfig, WorkloadConfig
+from .core.config import ISSConfig, NetworkConfig, SimConfig, WorkloadConfig
 from .harness.runner import Deployment
 from .harness.scenarios import DEFAULT_FLUSH_INTERVAL
 
@@ -103,6 +103,11 @@ def run_smoke() -> Dict[str, object]:
     used); the batched run and the derived reductions live under ``batched``.
     """
     figures: Dict[str, object] = dict(_run_once(0.0))
+    # Wall-clock figures are engine-specific; record which engine measured
+    # them so the baseline gate can refuse a cross-engine comparison.
+    # build_deployment() passes no explicit SimConfig, so the env default
+    # is exactly the engine both runs above used.
+    figures["engine"] = SimConfig.from_env().engine
     batched = _run_once(BATCH_FLUSH_INTERVAL)
     figures["batched"] = batched
     figures["batch_flush_interval_s"] = BATCH_FLUSH_INTERVAL
@@ -129,6 +134,16 @@ def check_against_baseline(
             f"--update-baseline to record one, or --no-check to skip"
         )
     baseline = json.loads(baseline_path.read_text())
+    baseline_engine = baseline.get("engine", "single")
+    measured_engine = figures.get("engine", "single")
+    if baseline_engine != measured_engine:
+        return (
+            f"baseline {baseline_path} was recorded under engine="
+            f"{baseline_engine!r} but this run used engine="
+            f"{measured_engine!r} — wall-clock comparisons across engines "
+            f"are refused; re-run under the recorded engine or re-record "
+            f"with --update-baseline"
+        )
     reference = float(baseline.get("events_per_wall_sec", 0.0))
     if reference <= 0:
         return (

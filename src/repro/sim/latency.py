@@ -40,7 +40,12 @@ class LatencyModel:
         self.placement: Dict[NodeId, int] = {
             node: node % config.num_datacenters for node in range(num_nodes)
         }
-        self._dc_latency = self._build_dc_matrix(config.num_datacenters)
+        if config.dc_latency_matrix is not None:
+            # Explicit measured matrix (e.g. the WAN-region scenarios);
+            # copied so later config mutation cannot skew a running model.
+            self._dc_latency = [list(row) for row in config.dc_latency_matrix]
+        else:
+            self._dc_latency = self._build_dc_matrix(config.num_datacenters)
 
     def _build_dc_matrix(self, num_dcs: int) -> List[List[float]]:
         """Build a symmetric datacenter-to-datacenter latency matrix.
@@ -63,6 +68,18 @@ class LatencyModel:
 
     def datacenter_of(self, node: NodeId) -> int:
         return self.placement[node]
+
+    def dc_latency(self, dc_a: int, dc_b: int) -> float:
+        """One-way base latency between two datacenters (seconds).
+
+        Intra-datacenter pairs return the configured intra-DC latency.
+        Used by the harness to derive the sharded engine's conservative
+        lookahead (minimum latency between datacenters in different
+        shards).
+        """
+        if dc_a == dc_b:
+            return self.config.intra_dc_latency
+        return self._dc_latency[dc_a][dc_b]
 
     def datacenter_name(self, node: NodeId) -> str:
         dc = self.placement[node] % len(DATACENTER_NAMES)

@@ -10,7 +10,11 @@ many leaders, so the aggregate NIC capacity grows with ``n``.
 
 Messages are delivered point-to-point with a WAN propagation latency drawn
 from :class:`repro.sim.latency.LatencyModel` plus optional jitter, and can be
-dropped or blocked by crash faults and partitions.
+dropped or blocked by crash faults and partitions.  On top of the per-node
+NIC, ``NetworkConfig.link_bandwidth_bps`` optionally models per-directed-link
+serialisation: a saturated link queues back-to-back wire messages (batched
+frames included), which is the contention the NIC-only model hides once
+batching amortises the sender's NIC events.
 
 ``send`` is the single hottest call in large simulations (one per message),
 so its common path is deliberately slim: the wire-size accessor is resolved
@@ -139,6 +143,15 @@ class Network:
         self._handlers: Dict[NodeId, MessageHandler] = {}
         #: Virtual time at which each endpoint's NIC becomes free again.
         self._nic_free_at: Dict[NodeId, float] = {}
+        #: Virtual time each directed link finishes its queued transmissions
+        #: (only populated when ``config.link_bandwidth_bps`` > 0).
+        self._link_free_at: Dict[Tuple[NodeId, NodeId], float] = {}
+        #: Shard-aware delivery scheduling when the simulator offers it
+        #: (see :meth:`repro.sim.sharded.ShardedSimulator.schedule_callback_for`):
+        #: deliveries queue in the *destination's* shard, turning cross-shard
+        #: sends into horizon-stamped handoffs.  ``None`` on the single
+        #: engine, whose fast path stays untouched.
+        self._schedule_delivery = getattr(sim, "schedule_callback_for", None)
         self._crashed: Set[NodeId] = set()
         #: Current partition: a node-to-group mapping; messages across groups drop.
         self._partition_group: Dict[NodeId, int] = {}
@@ -432,6 +445,19 @@ class Network:
         departure = nic_free + transmission
         self._nic_free_at[src] = departure
 
+        # Optional per-link queueing: after leaving the NIC, the wire
+        # message serialises onto the (src, dst) link at link_bandwidth_bps;
+        # back-to-back traffic on one link queues up behind it.  Off by
+        # default (0), costing the hot path one float comparison.
+        link_rate = config.link_bandwidth_bps
+        if link_rate > 0.0 and src != dst:
+            key = (src, dst)
+            link_free = self._link_free_at.get(key, 0.0)
+            if link_free < departure:
+                link_free = departure
+            departure = link_free + (size * 8) / link_rate
+            self._link_free_at[key] = departure
+
         if src == dst:
             arrival = departure
         else:
@@ -447,12 +473,18 @@ class Network:
                         arrival += fault.extra_delay()
 
         # Allocation-free delivery scheduling (no Timer handle needed).
+        # Sharded engines take the shard-routed path so the delivery event
+        # queues with the destination; ordering semantics are identical.
         delay = arrival - now
         if delay < 0.0:
             delay = 0.0
-        self.sim.schedule_callback(
-            delay, lambda: self._deliver(src, dst, message)
-        )
+        schedule_for = self._schedule_delivery
+        if schedule_for is None:
+            self.sim.schedule_callback(
+                delay, lambda: self._deliver(src, dst, message)
+            )
+        else:
+            schedule_for(dst, delay, lambda: self._deliver(src, dst, message))
 
     def multicast(self, src: NodeId, dsts: Iterable[NodeId], message: object) -> None:
         """Send the same message to every destination (each pays NIC time)."""

@@ -1,0 +1,424 @@
+"""Sharded discrete-event engine for large (32–128 node) sweeps.
+
+:class:`ShardedSimulator` is a drop-in replacement for
+:class:`repro.sim.simulator.Simulator` (same scheduling API, same
+``(time, seq)`` ordering semantics) that partitions pending events into
+per-shard queues and advances them under a conservative synchronization
+horizon.  It exists purely for performance: Figure-5 style scalability
+sweeps at 32–128 nodes execute millions of events, and the single
+engine's one-big-heap structure pays ``O(log N)`` comparisons on a heap
+bloated with far-future timers for every one of them.
+
+Determinism argument (why the delivered trace is bit-identical)
+---------------------------------------------------------------
+
+The sharded engine executes *exactly* the same events in *exactly* the
+same global ``(time, seq)`` order as the single-queue engine:
+
+* both engines draw sequence numbers from one shared counter in
+  scheduling-call order, so identical callback execution order implies
+  identical ``seq`` assignment;
+* the horizon only decides which *container* a pending event sits in
+  (the active heap for events inside the horizon, a per-shard far queue
+  beyond it), never when it executes — every pop takes the global
+  ``(time, seq)`` minimum, because active entries are strictly below
+  the horizon and far entries at or above it;
+* shard assignment routes an event to a far queue and nothing else, so
+  a "wrong" shard costs performance, not correctness.
+
+Identical execution order means identical virtual timestamps, identical
+RNG consumption (the network's jitter/drop draws happen inside
+callbacks, in execution order), hence identical schedules, delivered
+traces, and event/message counts — the property
+``tests/test_sharded_equivalence.py`` pins per protocol and fault mix.
+
+Where the speed comes from (lookahead / horizon)
+------------------------------------------------
+
+The horizon is a ladder: events are held in cheap per-shard
+append-mostly lists until virtual time approaches them, and only the
+slice within ``window`` seconds of the earliest pending event is
+heapified into the active heap::
+
+    virtual time ────────────────────────────────────────────▶
+        now       horizon = t_min + window
+         │           │
+    ┌────┴───────────┤ active heap: O(log n_active) pops/pushes
+    │  executing ... │
+    └────────────────┼──────────────────────────────────────────
+                     │ shard 0 far queue: sorted appends ──┐ prefix
+                     │ shard 1 far queue: sorted appends ──┤ bisected +
+                     │ shard k far queue: sorted appends ──┘ heapified
+                     ▼                                       per advance
+              (next horizon advance)
+
+``window`` derives from the minimum inter-shard link latency (the
+classic conservative-lookahead bound): a message sent by one shard to
+another arrives at least that far in the future, so cross-shard sends
+scheduled during the current horizon land in the destination shard's
+far queue as horizon-stamped handoffs — a tail append in the common
+case, a C-level binary insertion otherwise, never a heap sift.
+Long-lived protocol timers (view-change, retry, pacing) also live in
+far queues, where cancellation is a flag write and the entry is dropped
+wholesale during the next migration, never paying heap maintenance.
+The active heap stays small (only events within one lookahead window),
+so the per-event ``O(log n)`` cost shrinks with it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from bisect import bisect_left, insort
+from typing import Callable, Dict, List, Optional
+
+from .simulator import SimulationError, Timer, _Event, _COMPACT_MIN_SIZE
+
+#: Default conservative lookahead (seconds) when the caller derives none:
+#: half the scaled WAN's intra-datacenter round trip would be uselessly
+#: small, so this sits near typical cross-datacenter one-way latency.
+DEFAULT_LOOKAHEAD = 0.02
+
+#: Floor on the horizon window (seconds).  A pathologically small
+#: lookahead (e.g. two shards inside one datacenter) would advance the
+#: horizon every few events and drown the run in migration overhead;
+#: the floor trades a slightly larger active heap for amortisation.
+MIN_WINDOW = 0.005
+
+
+class ShardedSimulator:
+    """Simulator-shaped sharded event engine (see the module docstring).
+
+    Drop-in for :class:`repro.sim.simulator.Simulator`: same constructor
+    seed semantics, same ``schedule``/``schedule_callback``/``run`` API,
+    same ``(time, seq)`` ordering guarantees.  Extra API:
+
+    * :meth:`assign_endpoint` maps an endpoint (node or client id) to a
+      shard; the network routes deliveries with
+      :meth:`schedule_callback_for` so each delivery event queues in its
+      destination's shard;
+    * events scheduled *by* a callback inherit the shard of the event
+      being executed (protocol timers stay with their node's shard).
+
+    Typical usage::
+
+        sim = ShardedSimulator(seed=1, num_shards=4, lookahead=0.03)
+        sim.assign_endpoint(node_id, shard_index)
+        sim.schedule(0.5, callback)
+        sim.run(until=10.0)
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        num_shards: int = 1,
+        lookahead: float = DEFAULT_LOOKAHEAD,
+        min_window: float = MIN_WINDOW,
+    ):
+        if num_shards < 1:
+            raise SimulationError("num_shards must be >= 1")
+        if lookahead < 0 or min_window < 0:
+            raise SimulationError("lookahead and min_window must be >= 0")
+        #: Number of per-shard far queues (fixed at construction).
+        self.num_shards = num_shards
+        #: Conservative lookahead the horizon window was derived from.
+        self.lookahead = lookahead
+        #: Horizon window width: lookahead clamped from below (see MIN_WINDOW).
+        self.window = max(lookahead, min_window)
+        #: Heap of ``(time, seq, item, shard)`` entries with time < horizon.
+        self._active: List[tuple] = []
+        #: Per-shard far queues: entries with time >= horizon, kept sorted
+        #: at all times (tail appends in the common case, C-level binary
+        #: insertion otherwise) so horizon advances never sort.
+        self._shards: List[List[tuple]] = [[] for _ in range(num_shards)]
+        #: Absolute synchronization horizon; advances when the active heap
+        #: drains.  Starts at 0 so pre-run scheduling fills the far queues.
+        self._horizon = 0.0
+        #: Endpoint (node / client id) → shard index, set by the harness.
+        self._endpoint_shard: Dict[int, int] = {}
+        #: Shard of the event currently executing (routing context for
+        #: schedule calls made inside callbacks).
+        self._current_shard = 0
+        self._counter = itertools.count()
+        #: Current virtual time (seconds).  A plain attribute, not a
+        #: property: callbacks read it once per event, where the
+        #: descriptor-call overhead is measurable.
+        self.now = 0.0
+        self._running = False
+        self.rng = random.Random(seed)
+        #: Number of events executed so far (same meaning as the single
+        #: engine's counter; equal to it on equal runs).
+        self.events_executed = 0
+        #: Live (scheduled, not cancelled, not executed) events.
+        self._live = 0
+        #: Cancelled events still queued awaiting lazy removal.
+        self._stale = 0
+        #: Horizon advances performed (profiling aid for benchmarks).
+        self.horizon_advances = 0
+
+    # ------------------------------------------------------------- sharding
+    def assign_endpoint(self, endpoint: int, shard: int) -> None:
+        """Pin an endpoint's delivery events to ``shard``.
+
+        Unassigned endpoints route to the scheduling context's shard —
+        correctness never depends on the mapping (see module docstring).
+        """
+        if not 0 <= shard < self.num_shards:
+            raise SimulationError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        self._endpoint_shard[endpoint] = shard
+
+    def shard_of(self, endpoint: int) -> int:
+        """The shard an endpoint's deliveries queue in (0 if unassigned)."""
+        return self._endpoint_shard.get(endpoint, 0)
+
+    # -------------------------------------------------------------- schedule
+    def _insert(self, time: float, seq: int, item, shard: int) -> None:
+        """Queue one entry: active heap inside the horizon, far queue beyond.
+
+        The callback fast paths (:meth:`schedule_callback`,
+        :meth:`schedule_callback_for`) inline this logic — they run once
+        per simulated message, where a Python call frame is measurable.
+        """
+        entry = (time, seq, item, shard)
+        if time < self._horizon:
+            heapq.heappush(self._active, entry)
+        else:
+            queue = self._shards[shard]
+            if queue and time < queue[-1][0]:
+                insort(queue, entry)
+            else:
+                queue.append(entry)
+        self._live += 1
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        event = _Event(self.now + delay, next(self._counter), callback)
+        self._insert(event.time, event.seq, event, self._current_shard)
+        return Timer(self, event)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        return self.schedule(max(0.0, time - self.now), callback)
+
+    def call_soon(self, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` at the current time (after pending events)."""
+        return self.schedule(0.0, callback)
+
+    def schedule_callback(self, delay: float, callback: Callable[[], None]) -> None:
+        """Allocation-free fast path: one-shot, non-cancellable callback."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        time = self.now + delay
+        shard = self._current_shard
+        if time < self._horizon:
+            heapq.heappush(
+                self._active, (time, next(self._counter), callback, shard)
+            )
+        else:
+            queue = self._shards[shard]
+            if queue and time < queue[-1][0]:
+                insort(queue, (time, next(self._counter), callback, shard))
+            else:
+                queue.append((time, next(self._counter), callback, shard))
+        self._live += 1
+
+    def schedule_callback_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Absolute-time variant of :meth:`schedule_callback`."""
+        self.schedule_callback(max(0.0, time - self.now), callback)
+
+    def schedule_callback_for(
+        self, endpoint: int, delay: float, callback: Callable[[], None]
+    ) -> None:
+        """Fast-path callback routed to ``endpoint``'s shard.
+
+        The network's delivery scheduling hook: a cross-shard send becomes
+        a horizon-stamped handoff into the destination shard's far queue
+        (an O(1) append whenever the link latency exceeds the remaining
+        horizon).  Ordering semantics are identical to
+        :meth:`schedule_callback` — only the queue placement differs.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        time = self.now + delay
+        shard = self._endpoint_shard.get(endpoint, self._current_shard)
+        if time < self._horizon:
+            heapq.heappush(
+                self._active, (time, next(self._counter), callback, shard)
+            )
+        else:
+            queue = self._shards[shard]
+            if queue and time < queue[-1][0]:
+                insort(queue, (time, next(self._counter), callback, shard))
+            else:
+                queue.append((time, next(self._counter), callback, shard))
+        self._live += 1
+
+    # ---------------------------------------------------------- cancellation
+    def _cancel_event(self, event: _Event) -> None:
+        """Mark a timer event cancelled; its queue entry is removed lazily."""
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._live -= 1
+        self._stale += 1
+        # Trigger on actual container sizes (the run loop defers its live
+        # count write-back, so ``_live`` overstates mid-run): stale entries
+        # left to rot inflate insertion and GC costs on every queue.
+        total = len(self._active)
+        for queue in self._shards:
+            total += len(queue)
+        if self._stale * 2 > total and total >= _COMPACT_MIN_SIZE:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from every queue (order-preserving).
+
+        Mutates every container in place so the run loop's local binding
+        of the active heap stays valid across a mid-callback compaction.
+        """
+        is_stale = self._is_stale
+        self._active[:] = [e for e in self._active if not is_stale(e)]
+        heapq.heapify(self._active)
+        for queue in self._shards:
+            queue[:] = [e for e in queue if not is_stale(e)]
+        self._stale = 0
+
+    @staticmethod
+    def _is_stale(entry: tuple) -> bool:
+        """True when the entry's item is a cancelled timer event."""
+        item = entry[2]
+        return item.__class__ is _Event and item.cancelled
+
+    # ----------------------------------------------------- horizon advancing
+    def _advance_horizon(self) -> bool:
+        """Advance the horizon past the earliest far event and migrate.
+
+        Far queues stay sorted at all times, so this only bisects each
+        queue at the new horizon, moves the prefix into the active heap in
+        one C-speed heapify, and drops cancelled entries for free on the
+        way.  Returns False when no events remain anywhere.
+        """
+        shards = self._shards
+        best = None
+        for queue in shards:
+            if not queue:
+                continue
+            head = queue[0][0]
+            if best is None or head < best:
+                best = head
+        if best is None:
+            return False
+        horizon = best + self.window
+        active = self._active
+        for queue in shards:
+            if not queue:
+                continue
+            split = bisect_left(queue, (horizon,))
+            if not split:
+                continue
+            # Cancelled entries migrate too; the run loop discards them on
+            # pop (same lazy discipline as the single engine), keeping this
+            # whole migration in C-speed list/heap primitives.
+            if split == len(queue):
+                active.extend(queue)
+                queue.clear()
+            else:
+                active.extend(queue[:split])
+                del queue[:split]
+        heapq.heapify(active)
+        self._horizon = horizon
+        self.horizon_advances += 1
+        return True
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queues drain, ``until`` is reached, or
+        ``max_events`` have executed.  Returns the final virtual time.
+
+        Execution order is the global ``(time, seq)`` minimum at every
+        step — identical to :meth:`repro.sim.simulator.Simulator.run`.
+        """
+        self._running = True
+        executed = 0
+        popped = 0
+        pop = heapq.heappop
+        event_cls = _Event
+        shard = self._current_shard
+        # Safe to bind once: _advance_horizon and _compact both mutate the
+        # active heap in place, never rebind it.
+        active = self._active
+        try:
+            while True:
+                if not active:
+                    if not self._advance_horizon():
+                        break
+                    continue
+                head = active[0]
+                item = head[2]
+                if item.__class__ is event_cls:
+                    if item.cancelled:
+                        pop(active)
+                        self._stale -= 1
+                        continue
+                    callback = item.callback
+                else:
+                    callback = item
+                time = head[0]
+                if until is not None and time > until:
+                    break
+                pop(active)
+                popped += 1
+                if time > self.now:
+                    self.now = time
+                if head[3] != shard:
+                    self._current_shard = shard = head[3]
+                if callback is not item:
+                    item.fired = True
+                callback()
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            if until is not None and self._peek_time() > until:
+                self.now = max(self.now, until)
+        finally:
+            self._running = False
+            # Counter write-back is deferred out of the hot loop; executed
+            # events were never re-queued, so the pending count drops by
+            # exactly the number of pops (cancel bookkeeping is separate).
+            self.events_executed += executed
+            self._live -= popped
+        return self.now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain (bounded by ``max_events``)."""
+        return self.run(max_events=max_events)
+
+    def _peek_time(self) -> float:
+        """Earliest pending event time across all queues (inf when empty)."""
+        active = self._active
+        while active:
+            item = active[0][2]
+            if item.__class__ is _Event and item.cancelled:
+                heapq.heappop(active)
+                self._stale -= 1
+                continue
+            return active[0][0]
+        best = float("inf")
+        for queue in self._shards:
+            for entry in queue:
+                item = entry[2]
+                if item.__class__ is _Event and item.cancelled:
+                    continue
+                if entry[0] < best:
+                    best = entry[0]
+                break
+        return best
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live

@@ -1,0 +1,21 @@
+"""Shared invariant checkers for the test suite.
+
+Thin re-export: the implementations live in
+:mod:`repro.harness.invariants` so the smoke gates and the fuzzer
+(``python -m repro.fuzz_smoke``) share the exact same definitions with
+the tests.  Import from here in test files::
+
+    from invariants import assert_invariants, assert_runs_equivalent
+"""
+
+from repro.harness.invariants import (  # noqa: F401
+    assert_invariants,
+    assert_runs_equivalent,
+    check_completed_within_submitted,
+    check_invariants,
+    check_no_double_delivery,
+    check_prefix_identity,
+    check_rejections_cover_forgeries,
+    check_runs_equivalent,
+    delivered_rids,
+)

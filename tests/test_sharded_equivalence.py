@@ -1,0 +1,241 @@
+"""Cross-engine differential suite: sharded vs single-queue simulator.
+
+The sharded engine's contract is *bit-identity*: for any scenario and seed
+it must execute the exact same schedule as the single-queue engine — same
+delivered traces on every node, same event/message totals, same completion
+figures.  These tests pin that contract over the protocol × batching
+matrix and over the fault paths (crash + restart, partition), plus unit
+tests of the :class:`~repro.sim.sharded.ShardedSimulator` itself.
+
+The seeded fuzzer (``tests/test_scenario_fuzz.py``) widens the same checks
+to a random scenario population.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    ENGINE_SHARDED,
+    ENGINE_SINGLE,
+    NetworkConfig,
+    SimConfig,
+)
+from repro.harness import scenarios
+from repro.harness.invariants import assert_invariants, assert_runs_equivalent
+from repro.harness.runner import Deployment
+from repro.sim.chaos import PartitionSpec
+from repro.sim.faults import CrashSpec, RestartSpec
+from repro.sim.sharded import ShardedSimulator
+from repro.sim.simulator import SimulationError, Simulator
+
+
+def _network(batching: bool) -> NetworkConfig:
+    return NetworkConfig(
+        bandwidth_bps=scenarios.SCALED_BANDWIDTH_BPS,
+        batch_flush_interval=scenarios.DEFAULT_FLUSH_INTERVAL if batching else 0.0,
+    )
+
+
+def _run(engine: str, protocol: str, batching: bool, **kwargs) -> object:
+    config = scenarios.chaos_config(protocol, 4, random_seed=7)
+    deployment = Deployment(
+        config=config,
+        network_config=_network(batching),
+        workload=scenarios._workload(rate=300.0, duration=3.0),
+        sim_config=SimConfig(engine=engine),
+        recovery_poll=0.25,
+        probe_stagger=0.5,
+        **kwargs,
+    )
+    return deployment.run()
+
+
+@pytest.mark.parametrize("protocol", ["pbft", "hotstuff", "raft"])
+@pytest.mark.parametrize("batching", [True, False], ids=["batched", "unbatched"])
+def test_engines_bit_identical(protocol, batching):
+    """Every protocol × batching combination runs identically on both engines."""
+    single = _run(ENGINE_SINGLE, protocol, batching)
+    sharded = _run(ENGINE_SHARDED, protocol, batching)
+    label = f"{protocol}/{'batched' if batching else 'unbatched'}"
+    assert_invariants(single, context=f"{label} single")
+    assert_invariants(sharded, context=f"{label} sharded")
+    assert_runs_equivalent(single, sharded, context=label)
+    assert single.report.completed > 0
+
+
+def test_engines_identical_under_crash_and_restart():
+    """The recovery path (WAL replay + state transfer) replays identically."""
+    faults = dict(
+        crash_specs=[CrashSpec(node=2, time=1.0)],
+        restart_specs=[RestartSpec(node=2, time=2.0)],
+    )
+    single = _run(ENGINE_SINGLE, "pbft", True, **faults)
+    sharded = _run(ENGINE_SHARDED, "pbft", True, **faults)
+    assert_runs_equivalent(single, sharded, context="crash+restart")
+    # The fault must actually have exercised the recovery machinery.
+    assert single.report.recoveries and sharded.report.recoveries
+
+
+def test_engines_identical_under_partition():
+    """Partition split/heal (and post-heal reconvergence) replays identically."""
+    faults = dict(
+        partition_specs=[
+            PartitionSpec(groups=((0, 1, 2), (3,)), start_time=1.0, heal_time=2.5)
+        ]
+    )
+    single = _run(ENGINE_SINGLE, "pbft", True, **faults)
+    sharded = _run(ENGINE_SHARDED, "pbft", True, **faults)
+    assert_runs_equivalent(single, sharded, context="partition")
+    assert single.report.partitions["partitions"]
+
+
+def test_report_records_engine():
+    """RunReport.engine names the engine that produced the run."""
+    assert _run(ENGINE_SINGLE, "pbft", True).report.engine == ENGINE_SINGLE
+    assert _run(ENGINE_SHARDED, "pbft", True).report.engine == ENGINE_SHARDED
+
+
+def test_wan_regions_identical_across_engines():
+    """The geo-latency matrix scenarios also replay bit-identically."""
+    config = scenarios.iss_config("pbft", 6, random_seed=3)
+    results = {}
+    for engine in (ENGINE_SINGLE, ENGINE_SHARDED):
+        deployment = Deployment(
+            config=config,
+            network_config=scenarios.wan_regions(4),
+            workload=scenarios._workload(rate=200.0, duration=3.0),
+            sim_config=SimConfig(engine=engine),
+        )
+        results[engine] = deployment.run()
+    assert_runs_equivalent(
+        results[ENGINE_SINGLE], results[ENGINE_SHARDED], context="wan_regions"
+    )
+    assert results[ENGINE_SINGLE].report.completed > 0
+
+
+# ---------------------------------------------------------------- unit level
+
+
+def test_sharded_executes_in_global_time_order():
+    """Events interleave across shards in exact (time, seq) order."""
+    sim = ShardedSimulator(seed=1, num_shards=4, lookahead=0.01)
+    for endpoint in range(4):
+        sim.assign_endpoint(endpoint, endpoint)
+    fired = []
+    for i, delay in enumerate([0.05, 0.011, 0.032, 0.0007, 0.02, 0.09, 0.0008]):
+        shard = i % 4
+        sim.schedule_callback_for(shard, delay, lambda d=delay: fired.append(d))
+    sim.run_until_idle()
+    assert fired == sorted(fired)
+    assert sim.events_executed == 7
+    assert sim.pending_events() == 0
+
+
+def test_sharded_ties_execute_in_schedule_order():
+    """Same fire time → scheduling order decides, exactly like the single engine."""
+    results = {}
+    for make in (lambda: Simulator(seed=0), lambda: ShardedSimulator(seed=0, num_shards=2)):
+        sim = make()
+        if isinstance(sim, ShardedSimulator):
+            sim.assign_endpoint(0, 0)
+            sim.assign_endpoint(1, 1)
+        fired = []
+        for tag in range(6):
+            sim.schedule_callback(0.5, lambda t=tag: fired.append(t))
+        sim.run_until_idle()
+        results[type(sim).__name__] = fired
+    assert results["Simulator"] == results["ShardedSimulator"] == list(range(6))
+
+
+def test_sharded_timer_cancel_and_reset():
+    """Timers cancel (even across the horizon boundary) and reschedule."""
+    sim = ShardedSimulator(seed=0, num_shards=2, lookahead=0.01)
+    sim.assign_endpoint(0, 0)
+    sim.assign_endpoint(1, 1)
+    fired = []
+    near = sim.schedule(0.001, lambda: fired.append("near"))
+    far = sim.schedule(5.0, lambda: fired.append("far"))
+    reset = sim.schedule(1.0, lambda: fired.append("reset"))
+    near.cancel()
+    far.cancel()
+    reset.reset(2.0)
+    assert not near.active and not far.active and reset.active
+    sim.run_until_idle()
+    assert fired == ["reset"]
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_sharded_run_until_stops_clock_at_bound():
+    """run(until=...) executes nothing past the bound and pins now to it."""
+    sim = ShardedSimulator(seed=0, num_shards=1)
+    sim.assign_endpoint(0, 0)
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1.0))
+    sim.schedule(3.0, lambda: fired.append(3.0))
+    sim.run(until=2.0)
+    assert fired == [1.0]
+    assert sim.now == pytest.approx(2.0)
+    sim.run_until_idle()
+    assert fired == [1.0, 3.0]
+
+
+def test_sharded_rejects_out_of_range_shard():
+    """assign_endpoint validates the shard index."""
+    sim = ShardedSimulator(seed=0, num_shards=2)
+    with pytest.raises(SimulationError):
+        sim.assign_endpoint(0, 2)
+    with pytest.raises(SimulationError):
+        sim.assign_endpoint(0, -1)
+
+
+def test_sharded_horizon_advances_across_quiet_gaps():
+    """A far-future timer is reached by advancing the horizon, not scanned past."""
+    sim = ShardedSimulator(seed=0, num_shards=2, lookahead=0.01)
+    sim.assign_endpoint(0, 0)
+    sim.assign_endpoint(1, 1)
+    fired = []
+    sim.schedule_callback_for(1, 60.0, lambda: fired.append("late"))
+    sim.run_until_idle()
+    assert fired == ["late"]
+    assert sim.now == pytest.approx(60.0)
+    assert sim.horizon_advances >= 1
+
+
+def test_sharded_matches_single_on_random_timer_soup():
+    """A seeded storm of schedules/cancels/nested schedules runs identically."""
+    import random
+
+    def drive(sim, endpoints):
+        rng = random.Random(99)
+        fired = []
+        timers = []
+
+        def spawn(depth):
+            if depth > 2:
+                return
+            delay = rng.choice([0.0004, 0.003, 0.05, 0.4, 2.5])
+            endpoint = rng.choice(endpoints)
+            cancellable = rng.random() < 0.5
+            tag = (round(delay, 4), endpoint, depth, cancellable)
+            callback = lambda: (fired.append(tag), spawn(depth + 1))
+            if cancellable:
+                timers.append(sim.schedule(delay, callback))
+            elif hasattr(sim, "schedule_callback_for"):
+                sim.schedule_callback_for(endpoint, delay, callback)
+            else:
+                sim.schedule_callback(delay, callback)
+
+        for _ in range(200):
+            spawn(0)
+        for i, timer in enumerate(timers):
+            if i % 7 == 0:
+                timer.cancel()
+        sim.run_until_idle()
+        return fired, sim.events_executed
+
+    single = Simulator(seed=5)
+    sharded = ShardedSimulator(seed=5, num_shards=3, lookahead=0.02)
+    for endpoint in range(6):
+        sharded.assign_endpoint(endpoint, endpoint % 3)
+    assert drive(single, list(range(6))) == drive(sharded, list(range(6)))
