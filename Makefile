@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check perf-smoke recovery-smoke byzantine-smoke client-abuse-smoke partition-smoke fuzz-smoke fig5-smoke bench
+.PHONY: test docs-check perf-smoke recovery-smoke byzantine-smoke client-abuse-smoke partition-smoke fuzz-smoke obs-smoke fig5-smoke bench
 
 # Tier-1 test suite (the CI gate; see ROADMAP.md).
 test:
@@ -52,6 +52,13 @@ partition-smoke:
 # hold and the engines must stay bit-identical (see repro.fuzz_smoke).
 fuzz-smoke:
 	$(PYTHON) -m repro.fuzz_smoke
+
+# Profiling scenario untraced vs fully traced: tracing must not perturb the
+# schedule, every completed request must close a valid span chain, the
+# exporters must round-trip, and enabled-mode overhead must stay under 10%
+# (see repro.obs_smoke).  Writes BENCH_obs_overhead.json.
+obs-smoke:
+	$(PYTHON) -m repro.obs_smoke
 
 # Fig. 5 engine sweep at small node counts: single-queue vs sharded engine,
 # both must agree on every counted figure.  Writes BENCH_fig5_smoke.json;

@@ -5,6 +5,10 @@ straggler, producing periodic spikes — every time the straggler's batch
 finally commits, one more batch per correct leader can be delivered as well
 (interleaved batch sequence numbers), so throughput alternates between zero
 and bursts at the straggler's period.
+
+The per-second series is produced by the observability sampler
+(``repro.obs.MetricsSampler`` via ``scenarios.throughput_timeline``); this
+benchmark no longer carries any bucket accounting of its own.
 """
 
 import pytest

@@ -6,6 +6,10 @@ progress and the epoch change is not delayed; an epoch-end crash delays the
 epoch change itself, after which ISS recovers with a burst (the paper observes
 >170 kreq/s right after recovery).  After the first epoch the crashed node is
 blacklisted and throughput returns to the fault-free level.
+
+The per-second series is produced by the observability sampler
+(``repro.obs.MetricsSampler`` via ``scenarios.throughput_timeline``); this
+benchmark no longer carries any bucket accounting of its own.
 """
 
 import pytest

@@ -27,6 +27,11 @@ Runs, in order:
 * ``python -m repro.fuzz_smoke`` (reduced count) — seeded random
   scenarios run on both simulator engines; safety invariants must hold
   and the engines must stay bit-identical,
+* ``python -m repro.obs_smoke`` — the profiling scenario untraced vs
+  fully traced; tracing must not perturb the schedule, every completed
+  request must close a valid span chain, the artifacts must round-trip
+  through the exporters, and enabled-mode overhead must stay under 10%
+  (writes ``BENCH_obs_overhead.json``),
 * ``benchmarks/bench_fig5_scalability.py --smoke`` — the Fig. 5 engine
   sweep at small node counts; the two engines must agree on every
   counted figure (writes ``BENCH_fig5.json``),
@@ -53,6 +58,7 @@ from repro.byzantine_smoke import main as byzantine_main  # noqa: E402
 from repro.client_abuse_smoke import main as client_abuse_main  # noqa: E402
 from repro.doccheck import main as doccheck_main  # noqa: E402
 from repro.fuzz_smoke import main as fuzz_main  # noqa: E402
+from repro.obs_smoke import main as obs_main  # noqa: E402
 from repro.partition_smoke import main as partition_main  # noqa: E402
 from repro.perf_smoke import main as perf_main  # noqa: E402
 from repro.recovery_smoke import main as recovery_main  # noqa: E402
@@ -66,6 +72,7 @@ if __name__ == "__main__":
     client_abuse_status = client_abuse_main([])
     partition_status = partition_main([])
     fuzz_status = fuzz_main(["--count", "6"])
+    obs_status = obs_main([])
     fig5_status = fig5_main(["--smoke"])
     doc_status = doccheck_main([])
     sys.exit(
@@ -75,6 +82,7 @@ if __name__ == "__main__":
         or client_abuse_status
         or partition_status
         or fuzz_status
+        or obs_status
         or fig5_status
         or doc_status
     )

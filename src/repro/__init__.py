@@ -50,6 +50,7 @@ from .sim.faults import (
     CLIENT_BUCKET_BIAS,
     CLIENT_FORGED_SIGNATURE,
 )
+from .obs import ObsConfig
 from .sim.chaos import PartitionSpec, LinkFaultSpec
 from .sim.client_adversary import AbusiveClient
 
@@ -86,6 +87,7 @@ __all__ = [
     "StragglerSpec",
     "ByzantineSpec",
     "MaliciousClientSpec",
+    "ObsConfig",
     "PartitionSpec",
     "LinkFaultSpec",
     "AbusiveClient",

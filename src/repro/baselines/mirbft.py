@@ -63,6 +63,8 @@ class MirBFTNode(ISSNode):
     # ----------------------------------------------------- epoch transitions
     def _after_commit(self) -> None:  # overrides ISSNode
         delivered = self.log.advance_delivery(self.sim.now)
+        if delivered and self.tracer is not None:
+            self.tracer.on_deliver_batch(self.sim.now, self.node_id, delivered)
         for item in delivered:
             self._send_client_response(item.request.rid, item.sn)
             if self.on_deliver is not None:

@@ -23,13 +23,12 @@ after an intentional schedule-affecting change.
 
 from __future__ import annotations
 
-import argparse
 import hashlib
 import sys
 from pathlib import Path
 from typing import Dict, Optional
 
-from . import golden
+from . import golden, smokelib
 from .core.config import NetworkConfig, WorkloadConfig, PROTOCOL_PBFT
 from .core.state_transfer import DEFAULT_PROBE_STAGGER
 from .harness.runner import Deployment
@@ -41,6 +40,7 @@ from .harness.scenarios import (
     iss_config,
     prefixes_identical,
 )
+from .obs import ObsConfig
 from .sim.faults import BYZ_EQUIVOCATE, ByzantineSpec
 
 #: The pinned adversarial scenario (keep in sync with the golden trace).
@@ -58,12 +58,7 @@ SCENARIO = dict(
 
 def golden_path() -> Path:
     """Location of the Byzantine-determinism golden trace."""
-    return (
-        Path(__file__).resolve().parents[2]
-        / "tests"
-        / "data"
-        / "golden_trace_byzantine.json"
-    )
+    return smokelib.golden_data_path("golden_trace_byzantine.json")
 
 
 def build_deployment() -> Deployment:
@@ -89,6 +84,7 @@ def build_deployment() -> Deployment:
             ByzantineSpec(node=SCENARIO["adversary"], behaviour=SCENARIO["behaviour"])
         ],
         probe_stagger=DEFAULT_PROBE_STAGGER,
+        obs=ObsConfig.disabled(),
     )
 
 
@@ -141,64 +137,46 @@ def check_against_golden(figures: Dict[str, object], path: Path) -> Optional[str
     )
 
 
+def semantic_violations(figures: Dict[str, object]) -> Optional[str]:
+    """The attack claims that must hold regardless of the golden trace."""
+    if not figures["prefixes_identical"]:
+        return (
+            "BYZANTINE SAFETY VIOLATION: correct nodes' delivered sequences "
+            "diverged under equivocation"
+        )
+    if figures["completed"] <= 0:
+        return "BYZANTINE LIVENESS VIOLATION: nothing was delivered"
+    if not figures["adversary_evicted"]:
+        return (
+            "BYZANTINE CONTAINMENT REGRESSION: the Blacklist policy failed "
+            "to evict the equivocating leader"
+        )
+    if figures["equivocations_detected_total"] <= 0:
+        return (
+            "BYZANTINE DETECTION REGRESSION: no correct node detected the "
+            "equivocation"
+        )
+    return None
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point: run the smoke scenario and apply the checks."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--update-golden",
-        action="store_true",
-        help="record this run as the new golden trace instead of checking",
-    )
-    args = parser.parse_args(argv)
-
     scenario = SCENARIO
-    print(
-        f"byzantine smoke: {scenario['num_nodes']} {scenario['protocol']} nodes, "
-        f"node {scenario['adversary']} {scenario['behaviour']}, "
-        f"{scenario['duration']:.0f}s virtual ..."
+    return smokelib.run_gate(
+        argv,
+        name="byzantine",
+        description=__doc__.splitlines()[0],
+        banner=(
+            f"byzantine smoke: {scenario['num_nodes']} {scenario['protocol']} nodes, "
+            f"node {scenario['adversary']} {scenario['behaviour']}, "
+            f"{scenario['duration']:.0f}s virtual ..."
+        ),
+        run_smoke=run_smoke,
+        golden_path=golden_path(),
+        pinned_keys=PINNED_KEYS,
+        regression_label="BYZANTINE DETERMINISM REGRESSION",
+        semantic_violations=semantic_violations,
     )
-    figures = run_smoke()
-    for key, value in figures.items():
-        print(f"  {key}: {value}")
-
-    # Semantic checks apply in every mode: a golden trace of a broken run
-    # must never be recorded.
-    if not figures["prefixes_identical"]:
-        print(
-            "BYZANTINE SAFETY VIOLATION: correct nodes' delivered sequences "
-            "diverged under equivocation",
-            file=sys.stderr,
-        )
-        return 1
-    if figures["completed"] <= 0:
-        print("BYZANTINE LIVENESS VIOLATION: nothing was delivered", file=sys.stderr)
-        return 1
-    if not figures["adversary_evicted"]:
-        print(
-            "BYZANTINE CONTAINMENT REGRESSION: the Blacklist policy failed "
-            "to evict the equivocating leader",
-            file=sys.stderr,
-        )
-        return 1
-    if figures["equivocations_detected_total"] <= 0:
-        print(
-            "BYZANTINE DETECTION REGRESSION: no correct node detected the "
-            "equivocation",
-            file=sys.stderr,
-        )
-        return 1
-
-    path = golden_path()
-    if args.update_golden:
-        golden.write_golden(figures, path)
-        print(f"updated golden trace {path}")
-        return 0
-    error = check_against_golden(figures, path)
-    if error is not None:
-        print(error, file=sys.stderr)
-        return 1
-    print(f"byzantine determinism check ok (golden {path.name})")
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

@@ -29,14 +29,12 @@ the abuse-resilience trajectory is tracked across PRs.  Pass
 
 from __future__ import annotations
 
-import argparse
 import hashlib
-import json
 import sys
 from pathlib import Path
 from typing import Dict, Optional
 
-from . import golden
+from . import golden, smokelib
 from .core.config import NetworkConfig, WorkloadConfig, PROTOCOL_PBFT
 from .core.state_transfer import DEFAULT_PROBE_STAGGER
 from .core.types import Batch
@@ -49,6 +47,7 @@ from .harness.scenarios import (
     iss_config,
     prefixes_identical,
 )
+from .obs import ObsConfig
 from .sim.faults import (
     CLIENT_DUPLICATE_FLOOD,
     CLIENT_FORGED_SIGNATURE,
@@ -74,17 +73,12 @@ SCENARIO = dict(
 
 def golden_path() -> Path:
     """Location of the client-abuse-determinism golden trace."""
-    return (
-        Path(__file__).resolve().parents[2]
-        / "tests"
-        / "data"
-        / "golden_trace_client_abuse.json"
-    )
+    return smokelib.golden_data_path("golden_trace_client_abuse.json")
 
 
 def bench_output_path() -> Path:
     """Location of the ``BENCH_client_abuse.json`` artefact (repo root)."""
-    return Path(__file__).resolve().parents[2] / "BENCH_client_abuse.json"
+    return smokelib.bench_output_path("BENCH_client_abuse.json")
 
 
 def build_deployment() -> Deployment:
@@ -124,6 +118,7 @@ def build_deployment() -> Deployment:
             ),
         ],
         probe_stagger=DEFAULT_PROBE_STAGGER,
+        obs=ObsConfig.disabled(),
     )
 
 
@@ -257,49 +252,27 @@ def semantic_violations(figures: Dict[str, object]) -> Optional[str]:
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point: run the smoke scenario and apply the checks."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--update-golden",
-        action="store_true",
-        help="record this run as the new golden trace instead of checking",
-    )
-    args = parser.parse_args(argv)
-
     scenario = SCENARIO
-    print(
-        f"client-abuse smoke: {scenario['num_nodes']} {scenario['protocol']} nodes, "
-        f"{scenario['num_clients']} clients "
-        f"(abusers: {scenario['watermark_abuser']} watermark, "
-        f"{scenario['duplicate_flooder']} flood, {scenario['forger']} forging "
-        f"client {scenario['forgery_victim']}), "
-        f"{scenario['duration']:.0f}s virtual ..."
+    return smokelib.run_gate(
+        argv,
+        name="client-abuse",
+        description=__doc__.splitlines()[0],
+        banner=(
+            f"client-abuse smoke: {scenario['num_nodes']} {scenario['protocol']} nodes, "
+            f"{scenario['num_clients']} clients "
+            f"(abusers: {scenario['watermark_abuser']} watermark, "
+            f"{scenario['duplicate_flooder']} flood, {scenario['forger']} forging "
+            f"client {scenario['forgery_victim']}), "
+            f"{scenario['duration']:.0f}s virtual ..."
+        ),
+        run_smoke=run_smoke,
+        golden_path=golden_path(),
+        pinned_keys=PINNED_KEYS,
+        regression_label="CLIENT-ABUSE DETERMINISM REGRESSION",
+        semantic_violations=semantic_violations,
+        bench_path=bench_output_path(),
+        bench_source="client_abuse_smoke",
     )
-    figures = run_smoke()
-    for key, value in figures.items():
-        print(f"  {key}: {value}")
-
-    # Semantic checks apply in every mode: a golden trace of a broken run
-    # must never be recorded.
-    violation = semantic_violations(figures)
-    if violation is not None:
-        print(violation, file=sys.stderr)
-        return 1
-
-    path = golden_path()
-    if args.update_golden:
-        golden.write_golden(figures, path)
-        bench_output_path().write_text(json.dumps(figures, indent=2) + "\n")
-        print(f"updated golden trace {path}")
-        return 0
-    error = check_against_golden(figures, path)
-    if error is not None:
-        print(error, file=sys.stderr)
-        return 1
-    # Only a run that passed every gate may refresh the tracked artefact:
-    # the trajectory must never record figures CI rejected.
-    bench_output_path().write_text(json.dumps(figures, indent=2) + "\n")
-    print(f"client-abuse determinism check ok (golden {path.name})")
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

@@ -67,6 +67,7 @@ class Client:
         key_store: KeyStore,
         on_complete: Optional[CompletionListener] = None,
         sign_requests: Optional[bool] = None,
+        tracer=None,
     ):
         self.client_id = client_id
         self.config = config
@@ -74,6 +75,9 @@ class Client:
         self.network = network
         self.key_store = key_store
         self.on_complete = on_complete
+        #: Observability hook (``repro.obs.RequestTracer``); ``None`` keeps
+        #: every instrumentation site a single attribute test.
+        self.tracer = tracer
         self.sign_requests = (
             config.client_signatures if sign_requests is None else sign_requests
         )
@@ -123,6 +127,8 @@ class Client:
             request = sign_request(self.key_store, request)
         self._pending[rid] = _PendingRequest(request=request, submitted_at=self.sim.now)
         self.requests_submitted += 1
+        if self.tracer is not None:
+            self.tracer.on_submit(self.sim.now, self.client_id, rid)
         self._send_request(request)
         if self._retry_rng is not None:
             self._arm_retry(rid, attempt=0)
@@ -176,6 +182,8 @@ class Client:
             self._retry_timers.pop(rid, None)
             return
         self.requests_retried += 1
+        if self.tracer is not None:
+            self.tracer.on_retry(self.sim.now, self.client_id, rid, attempt + 1)
         self._send_request(pending.request)
         self._arm_retry(rid, attempt + 1)
 
@@ -236,6 +244,8 @@ class Client:
         if len(pending.responders) >= self.config.weak_quorum:
             pending.completed = True
             self.requests_completed += 1
+            if self.tracer is not None:
+                self.tracer.on_quorum(self.sim.now, self.client_id, rid)
             self._note_completed(rid.timestamp)
             if self.on_complete is not None:
                 self.on_complete(
@@ -276,8 +286,11 @@ class Client:
         self._assignment_votes = {
             k: v for k, v in self._assignment_votes.items() if k[0] > message.epoch
         }
+        tracer = self.tracer
         for pending in self._pending.values():
             if not pending.completed:
+                if tracer is not None:
+                    tracer.on_resubmit(self.sim.now, self.client_id, pending.request.rid)
                 self._send_request(pending.request)
 
     # -------------------------------------------------------------- queries

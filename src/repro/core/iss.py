@@ -93,6 +93,7 @@ class ISSNode:
         sb_factory: Optional[SBFactory] = None,
         storage: Optional[NodeStorage] = None,
         probe_stagger: Optional[float] = None,
+        tracer=None,
     ):
         self.node_id = node_id
         self.config = config
@@ -101,6 +102,9 @@ class ISSNode:
         self.key_store = key_store
         self.client_ids = list(client_ids)
         self.on_deliver = on_deliver
+        #: Observability hook (``repro.obs.RequestTracer``); ``None`` keeps
+        #: every instrumentation site a single attribute test.
+        self.tracer = tracer
         self.fault_injector = fault_injector
         self.straggler = straggler if straggler and straggler.node == node_id else None
         #: Byzantine behaviour of *this* node (censorship is honoured here in
@@ -297,8 +301,11 @@ class ISSNode:
     def _handle_client_request(self, request: Request) -> bool:
         self.requests_received += 1
         rid = request.rid
+        tracer = self.tracer
         if self.buckets.is_delivered(rid):
             # Re-transmission of an already delivered request: re-acknowledge.
+            if tracer is not None:
+                tracer.on_duplicate(self.sim.now, self.node_id, rid)
             self._note_duplicate(rid.client)
             self._send_client_response(rid, -1)
             return False
@@ -307,13 +314,21 @@ class ISSNode:
             # (the watermark only advances over the contiguous delivered
             # prefix) and its delivered-filter entry has been garbage
             # collected — re-acknowledge exactly like the branch above.
+            if tracer is not None:
+                tracer.on_duplicate(self.sim.now, self.node_id, rid)
             self._note_duplicate(rid.client)
             self._send_client_response(rid, -1)
             return False
         if not self.validator.is_valid(request):
+            if tracer is not None:
+                tracer.on_reject(self.sim.now, self.node_id, rid, "invalid")
             return False
         if self.buckets.add_request(request):
+            if tracer is not None:
+                tracer.on_admit(self.sim.now, self.node_id, rid)
             return True
+        if tracer is not None:
+            tracer.on_duplicate(self.sim.now, self.node_id, rid)
         self._note_duplicate(rid.client)
         return False
 
@@ -413,6 +428,7 @@ class ISSNode:
             report_misbehaviour_fn=self._note_misbehaviour,
             timeout_jitter_fn=self._make_timeout_jitter(segment),
             note_view_change_fn=self._note_view_change,
+            tracer=self.tracer,
         )
 
     def _make_timeout_jitter(self, segment: SegmentDescriptor) -> Optional[Callable[[], float]]:
@@ -489,6 +505,10 @@ class ISSNode:
             requests = self.buckets.cut_batch(buckets, self.config.max_batch_size)
             batch = Batch.of(requests)
         self._proposed[sn] = batch
+        tracer = self.tracer
+        if tracer is not None:
+            rids = tuple(r.rid for r in batch.requests if tracer.wants(r.rid))
+            tracer.on_propose(self.sim.now, self.node_id, segment.instance_id, sn, rids)
         return batch
 
     def _may_propose(self, segment: SegmentDescriptor, sn: SeqNr) -> bool:
@@ -537,6 +557,10 @@ class ISSNode:
         if self.log.has_entry(sn):
             return
         self.log.commit(sn, value, segment.epoch, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.on_commit(
+                self.sim.now, self.node_id, segment.instance_id, sn, is_nil(value)
+            )
         if self.storage is not None:
             self.storage.record_commit(sn, value, segment.epoch)
         if is_nil(value):
@@ -584,6 +608,8 @@ class ISSNode:
         if delivered:
             if self.config.send_client_responses:
                 self._send_delivery_responses(delivered)
+            if self.tracer is not None:
+                self.tracer.on_deliver_batch(self.sim.now, self.node_id, delivered)
             on_deliver = self.on_deliver
             if on_deliver is not None:
                 node_id = self.node_id
@@ -632,6 +658,8 @@ class ISSNode:
     def _on_stable_checkpoint(self, epoch: EpochNr, certificate) -> None:
         """Garbage-collect the epoch's instances once its checkpoint is stable,
         and persist the certificate (which compacts the WAL below it)."""
+        if self.tracer is not None:
+            self.tracer.on_checkpoint(self.sim.now, self.node_id, epoch)
         self.orderer.stop_epoch(epoch)
         if self.storage is not None:
             self.storage.record_stable_checkpoint(certificate)

@@ -63,6 +63,7 @@ class SBContext:
         report_misbehaviour_fn: Optional[Callable[[str, NodeId], None]] = None,
         timeout_jitter_fn: Optional[Callable[[], float]] = None,
         note_view_change_fn: Optional[Callable[[], None]] = None,
+        tracer=None,
     ):
         self.node_id = node_id
         self.config = config
@@ -93,6 +94,10 @@ class SBContext:
         self._timeout_jitter = timeout_jitter_fn
         #: Host counter hook fired on every completed view/round change.
         self._note_view_change = note_view_change_fn
+        #: Observability hook (``repro.obs.RequestTracer``); protocol
+        #: implementations emit per-slot phase events through it when it is
+        #: not ``None`` (see ``RequestTracer.on_sb``).
+        self.tracer = tracer
 
     # ------------------------------------------------------------ identity
     @property

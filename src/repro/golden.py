@@ -11,6 +11,7 @@ wording; each gate keeps only its scenario, its figures, and its semantic
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -84,3 +85,8 @@ def delivered_trace(node) -> List[Tuple[int, str]]:
         entry = node.log.entry(sn)
         trace.append((sn, "nil" if is_nil(entry) else entry.digest().hex()))
     return trace
+
+
+def trace_sha256(node) -> str:
+    """The ``sha256(repr(delivered_trace(node)))`` digest the gates pin."""
+    return hashlib.sha256(repr(delivered_trace(node)).encode()).hexdigest()

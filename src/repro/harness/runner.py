@@ -41,6 +41,10 @@ from ..core.validation import REJECTION_REASONS
 from ..crypto.signatures import KeyStore
 from ..core.state_transfer import probe_stagger_interval
 from ..metrics.collector import MetricsCollector, RunReport
+from ..obs.config import ObsConfig
+from ..obs.export import write_run_artifacts
+from ..obs.metrics import MetricsSampler
+from ..obs.tracer import RequestTracer
 from ..sim.chaos import DROP_CAUSES, LinkFaultSpec, PartitionSpec
 from ..sim.client_adversary import AbusiveClient
 from ..sim.faults import (
@@ -126,6 +130,7 @@ class Deployment:
         layout: str = LAYOUT_ROUND_ROBIN,
         drain_time: float = 5.0,
         sim_config: Optional[SimConfig] = None,
+        obs: Optional[ObsConfig] = None,
     ):
         self.config = config
         self.network_config = network_config or NetworkConfig()
@@ -182,6 +187,27 @@ class Deployment:
         self.collector = MetricsCollector(
             completion_quorum=config.weak_quorum, warmup=self.workload.warmup
         )
+
+        #: Observability: an explicit ObsConfig wins; otherwise the
+        #: ``REPRO_TRACE*`` env vars (default: everything off).  Golden-trace
+        #: smokes pin ``ObsConfig.disabled()`` explicitly.
+        self.obs = obs if obs is not None else ObsConfig.from_env()
+        self.tracer: Optional[RequestTracer] = None
+        #: Delivery listener handed to every node.  Deliver *span* events are
+        #: not recorded here but at the delivery-advance sites (one batched
+        #: event per advance, see ``RequestTracer.on_deliver_batch``) — the
+        #: per-item listener stays untouched whether tracing or not.
+        self._on_deliver = self.collector.record_delivery
+        if self.obs.trace:
+            self.tracer = RequestTracer(sample=self.obs.sample)
+            self.collector.tracer = self.tracer
+            self.network.tracer = self.tracer
+        self.sampler: Optional[MetricsSampler] = None
+        if self.obs.metrics_interval > 0:
+            self.sampler = MetricsSampler(
+                self.sim, self.obs.metrics_interval, warmup=self.workload.warmup
+            )
+            self._register_probes(self.sampler)
 
         self.client_ids = list(range(self.workload.num_clients))
         client_ids = self.client_ids
@@ -247,6 +273,7 @@ class Deployment:
                 network=self.network,
                 key_store=self.key_store,
                 on_complete=self.collector.record_client_completion,
+                tracer=self.tracer,
             )
             spec = malicious_by_client.get(client_id)
             if spec is not None:
@@ -328,7 +355,7 @@ class Deployment:
             network=self.network,
             key_store=self.key_store,
             client_ids=self.client_ids,
-            on_deliver=self.collector.record_delivery,
+            on_deliver=self._on_deliver,
             fault_injector=self.injector,
             straggler=self._stragglers_by_node.get(node_id),
             byzantine=self._byzantine_by_node.get(node_id),
@@ -336,6 +363,49 @@ class Deployment:
             layout=self.layout,
             storage=self.storages.get(node_id),
             probe_stagger=self.probe_stagger,
+            tracer=self.tracer,
+        )
+
+    def _register_probes(self, sampler: MetricsSampler) -> None:
+        """Install the standard per-node and cluster time-series probes.
+
+        Probes close over ``self`` and look nodes up by index on every tick:
+        node objects are *rebuilt* on restart, so capturing an incarnation
+        would silently sample a dead object.  None of the probes mutate any
+        state, which is what makes the sampler non-perturbing.
+        """
+        sampler.add_rate_probe("throughput", self.collector.completed_count)
+        num_nodes = self.config.num_nodes
+        for node_id in range(num_nodes):
+            sampler.add_probe(
+                f"node{node_id}.delivered",
+                lambda n=node_id: self.nodes[n].delivered_count(),
+            )
+            sampler.add_probe(
+                f"node{node_id}.pending",
+                lambda n=node_id: self.nodes[n].pending_requests(),
+            )
+            sampler.add_probe(
+                f"node{node_id}.instances",
+                lambda n=node_id: len(self.nodes[n].orderer.active_instances()),
+            )
+        if self.durable_storage:
+            for node_id in range(num_nodes):
+                sampler.add_probe(
+                    f"node{node_id}.wal",
+                    lambda n=node_id: self.storages[n].wal.appended_total,
+                )
+        for cause in DROP_CAUSES:
+            sampler.add_probe(
+                f"drops.{cause}",
+                lambda c=cause: self.network.stats.dropped_by_cause.get(c, 0),
+            )
+        sampler.add_probe(
+            "retransmissions", lambda: self.network.stats.retransmissions
+        )
+        sampler.add_probe(
+            "client_retries",
+            lambda: sum(c.requests_retried for c in self.clients),
         )
 
     # ------------------------------------------------------- crash / restart
@@ -358,7 +428,9 @@ class Deployment:
         node = self._build_node(node_id)
         storage = self.storages.get(node_id)
         if storage is not None:
-            info = RecoveryManager(storage).recover(node, now=restarted_at)
+            info = RecoveryManager(storage, tracer=self.tracer).recover(
+                node, now=restarted_at
+            )
         else:
             # Diskless restart: nothing local to replay; state transfer
             # alone rebuilds the log from the peers' stable checkpoints.
@@ -525,6 +597,8 @@ class Deployment:
         for node in self.nodes:
             node.start()
         self.generator.start()
+        if self.sampler is not None:
+            self.sampler.start()
         total_time = self.workload.duration + self.drain_time
         self.sim.run(until=total_time)
         # Restarted nodes that never reached the frontier keep their record,
@@ -540,6 +614,18 @@ class Deployment:
             partitions=self._partition_stats(),
             engine=self.engine,
         )
+        if self.sampler is not None:
+            report.throughput_timeline = self.sampler.throughput_timeline(
+                limit=self.workload.duration
+            )
+            report.timeseries = self.sampler.timeseries()
+        if self.obs.out_dir and (self.tracer is not None or self.sampler is not None):
+            write_run_artifacts(
+                self.obs.out_dir,
+                self.tracer,
+                timeseries=report.timeseries,
+                counters=self.obs_counters(),
+            )
         return DeploymentResult(
             report=report,
             nodes=self.nodes,
@@ -639,6 +725,32 @@ class Deployment:
             },
             "link_faults": self.injector.link_fault_stats(),
             "client_retries_total": sum(c.requests_retried for c in self.clients),
+            "retransmissions_total": int(self.network.stats.retransmissions),
+        }
+
+    def obs_counters(self) -> Dict[str, object]:
+        """End-of-run counters bundled into the ``metrics.json`` artifact.
+
+        One place to debug a chaos run from: drops split by cause,
+        per-source-node retransmissions, and per-client retry counts.
+        """
+        stats = self.network.stats
+        return {
+            "drops_by_cause": {
+                cause: int(stats.dropped_by_cause.get(cause, 0))
+                for cause in DROP_CAUSES
+            },
+            "retransmissions_total": int(stats.retransmissions),
+            "retransmissions_by_node": {
+                int(node): int(count)
+                for node, count in sorted(stats.retransmissions_by_node.items())
+            },
+            "client_retries_total": sum(c.requests_retried for c in self.clients),
+            "client_retries_by_client": {
+                c.client_id: c.requests_retried
+                for c in self.clients
+                if c.requests_retried
+            },
         }
 
     def _extra_stats(self) -> Dict[str, float]:

@@ -217,6 +217,12 @@ class HotStuffSB(SBInstance):
         if not self._safe_to_vote(block):
             return
         self._last_voted_view = block.view
+        tracer = self.context.tracer
+        if tracer is not None and block.sn is not None:
+            tracer.on_sb(
+                self.context.now(), self.context.node_id,
+                self.context.segment.instance_id, block.sn, "vote",
+            )
         partial = self._threshold.sign_share(self.context.node_id, digest)
         vote = Vote(view=block.view, block_digest=digest, partial=partial)
         # Votes go to the leader of the block's round (stable leader while the
@@ -324,6 +330,12 @@ class HotStuffSB(SBInstance):
             if ancestor.sn is not None and ancestor.sn not in self._delivered_sns:
                 self._delivered_sns.add(ancestor.sn)
                 value = ancestor.value if ancestor.value is not None else NIL
+                tracer = self.context.tracer
+                if tracer is not None:
+                    tracer.on_sb(
+                        self.context.now(), self.context.node_id,
+                        self.context.segment.instance_id, ancestor.sn, "decided",
+                    )
                 self.context.deliver(ancestor.sn, value)
         # Progress resets the pacemaker backoff: later stalls start from the
         # base timeout instead of one inflated during a past outage.

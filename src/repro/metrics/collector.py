@@ -70,6 +70,8 @@ class RunReport:
     #: diff when wall-clock-dependent figures differ.
     engine: str = "single"
     #: Requests completed per one-second interval (Figure 9/10/12 style).
+    #: Populated by the harness from the observability sampler when a run
+    #: enables ``ObsConfig.metrics_interval``; empty otherwise.
     throughput_timeline: List[Tuple[float, float]] = field(default_factory=list)
     #: Free-form counters (view changes, epochs, traffic...).
     extra: Dict[str, float] = field(default_factory=dict)
@@ -96,6 +98,10 @@ class RunReport:
     #: drop cause → payload count, ``link_faults`` carries per-link runtime
     #: counters, ``client_retries_total`` sums the clients' retry loops.
     partitions: Dict[str, object] = field(default_factory=dict)
+    #: Per-node/cluster time series sampled by ``repro.obs.MetricsSampler``
+    #: (``{"interval", "warmup", "times", "series"}``); empty unless the
+    #: run enabled the observability sampler.
+    timeseries: Dict[str, object] = field(default_factory=dict)
 
 
 class MetricsCollector:
@@ -110,8 +116,10 @@ class MetricsCollector:
         self._delivery_nodes: Dict[RequestId, set] = {}
         self._completion_times: Dict[RequestId, float] = {}
         self._latencies: List[float] = []
-        self._completion_timestamps: List[float] = []
         self.deliveries_observed = 0
+        #: Observability hook (``repro.obs.RequestTracer``); installed by the
+        #: harness only when tracing is enabled, ``None`` otherwise.
+        self.tracer = None
         self._recoveries: List[Dict[str, float]] = []
         #: Censored-bucket watch (Byzantine censorship scenarios); None off.
         self._censored_buckets: Optional[frozenset] = None
@@ -185,11 +193,12 @@ class MetricsCollector:
         if rid in self._completion_times:
             return
         self._completion_times[rid] = time
+        if self.tracer is not None:
+            self.tracer.on_complete(time, rid)
         submit = self._submit_times.get(rid)
         if submit is None or submit < self.warmup:
             return
         self._latencies.append(time - submit)
-        self._completion_timestamps.append(time)
         if self._censored_buckets is not None and self._is_censored(rid):
             self._censored_latencies.append(time - submit)
 
@@ -199,18 +208,6 @@ class MetricsCollector:
 
     def submitted_count(self) -> int:
         return sum(1 for t in self._submit_times.values() if t >= self.warmup)
-
-    def throughput_timeline(self, duration: float, bucket: float = 1.0) -> List[Tuple[float, float]]:
-        """Requests completed per ``bucket`` seconds over the run."""
-        if duration <= 0:
-            return []
-        buckets = int(math.ceil(duration / bucket))
-        counts = [0] * buckets
-        for time in self._completion_timestamps:
-            index = int((time - self.warmup) // bucket) if time >= self.warmup else -1
-            if 0 <= index < buckets:
-                counts[index] += 1
-        return [(self.warmup + (i + 1) * bucket, counts[i] / bucket) for i in range(buckets)]
 
     def report(
         self,
@@ -244,7 +241,6 @@ class MetricsCollector:
             completed=completed,
             throughput=completed / measured,
             latency=LatencySummary.from_samples(self._latencies),
-            throughput_timeline=self.throughput_timeline(measured),
             extra=dict(extra or {}),
             recoveries=[dict(r) for r in self._recoveries],
             byzantine=byz,

@@ -1,0 +1,197 @@
+"""Exporters: JSONL span log, Chrome trace-event file, metrics dump.
+
+Three artifacts, all written by :func:`write_run_artifacts` when a
+deployment runs with ``ObsConfig.out_dir`` set:
+
+* ``spans.jsonl`` — one JSON object per traced request (the rows of
+  :func:`repro.obs.spans.assemble_spans`), grep- and ``jq``-friendly.
+* ``trace.json`` — Chrome trace-event format (the JSON Object Format:
+  ``{"traceEvents": [...]}``), loadable in Perfetto / ``chrome://tracing``.
+  Each request becomes a track of complete (``ph: "X"``) slices, one per
+  pipeline phase, with retries/drops/retransmits as instant events.
+* ``metrics.json`` — the sampler time series plus the network/client
+  counters (drops by cause, retransmits, retries), so chaos runs are
+  debuggable from a single artifact.
+
+Times are simulated seconds; the Chrome export scales them to the
+microseconds the trace-event spec expects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .spans import PHASES, assemble_spans
+from .tracer import EVT_DROP, EVT_RETRANSMIT
+
+#: Filenames used inside an ``ObsConfig.out_dir`` artifact directory.
+SPANS_FILE = "spans.jsonl"
+CHROME_TRACE_FILE = "trace.json"
+METRICS_FILE = "metrics.json"
+
+_US = 1_000_000.0  # simulated seconds -> trace-event microseconds
+
+
+def write_jsonl(path: str, rows: Iterable[Dict[str, object]]) -> int:
+    """Write dict rows as one-JSON-object-per-line; returns the row count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Read back a JSONL file written by :func:`write_jsonl`."""
+    rows = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def chrome_trace(rows: Sequence[Dict[str, object]], events: Sequence[Tuple] = ()) -> Dict[str, object]:
+    """Build a Chrome trace-event object from span rows (+ raw tracer events).
+
+    Layout: one *process* per client (named via ``M`` metadata events), one
+    *thread* per request (its submit timestamp), one ``X`` slice per closed
+    phase, and ``i`` instant events for retries, resubmits, drops, and
+    retransmits.  Network events that cannot be attributed to a traced
+    request land on a synthetic ``network`` process (pid ``-1``).
+    """
+    trace_events: List[Dict[str, object]] = []
+    clients = sorted({row["client"] for row in rows})
+    for client in clients:
+        trace_events.append(
+            {"ph": "M", "name": "process_name", "pid": client, "tid": 0,
+             "args": {"name": f"client {client}"}}
+        )
+    tid_of: Dict[str, Tuple[int, int]] = {}
+    for index, row in enumerate(rows):
+        pid = row["client"]
+        tid = index + 1
+        tid_of[row["rid"]] = (pid, tid)
+        trace_events.append(
+            {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+             "args": {"name": row["rid"]}}
+        )
+        for label, start, end in PHASES:
+            if label == "total":
+                continue
+            t0, t1 = row.get(start), row.get(end)
+            if t0 is None or t1 is None:
+                continue
+            trace_events.append(
+                {"ph": "X", "name": label, "cat": "request", "pid": pid, "tid": tid,
+                 "ts": t0 * _US, "dur": (t1 - t0) * _US, "args": {"rid": row["rid"]}}
+            )
+        for when in row.get("retries", ()):
+            trace_events.append(
+                {"ph": "i", "name": "retry", "cat": "client", "pid": pid, "tid": tid,
+                 "ts": when * _US, "s": "t"}
+            )
+        for when in row.get("resubmits", ()):
+            trace_events.append(
+                {"ph": "i", "name": "resubmit", "cat": "client", "pid": pid, "tid": tid,
+                 "ts": when * _US, "s": "t"}
+            )
+    if events:
+        trace_events.append(
+            {"ph": "M", "name": "process_name", "pid": -1, "tid": 0,
+             "args": {"name": "network"}}
+        )
+        for kind, time, actor, key, detail in events:
+            if kind == EVT_DROP:
+                name, args = f"drop:{detail}", {"src": actor, "dst": key[0]}
+            elif kind == EVT_RETRANSMIT:
+                name, args = "retransmit", {"src": actor, "dst": key[0]}
+            else:
+                continue
+            rid = key[1]
+            pid, tid = tid_of.get(str(rid), (-1, 0)) if rid is not None else (-1, 0)
+            if rid is not None:
+                args["rid"] = str(rid)
+            trace_events.append(
+                {"ph": "i", "name": name, "cat": "network", "pid": pid, "tid": tid,
+                 "ts": time * _US, "s": "t", "args": args}
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(trace: object) -> List[str]:
+    """Check a trace object against the trace-event schema; return problems.
+
+    Covers the subset this exporter emits: the JSON Object Format envelope,
+    required fields per phase type (``X``/``i``/``M``), numeric
+    ``ts``/``dur``, non-negative durations, and valid instant scopes.  An
+    empty list means the trace is loadable.
+    """
+    problems: List[str] = []
+    if not isinstance(trace, dict) or not isinstance(trace.get("traceEvents"), list):
+        return ["top level must be an object with a 'traceEvents' list"]
+    for index, event in enumerate(trace["traceEvents"]):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing name")
+        if ph == "M":
+            if not isinstance(event.get("args"), dict):
+                problems.append(f"{where}: metadata event without args")
+            continue
+        for fieldname in ("pid", "tid"):
+            if not isinstance(event.get(fieldname), int):
+                problems.append(f"{where}: missing integer {fieldname}")
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"{where}: missing numeric ts")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)):
+                problems.append(f"{where}: complete event without numeric dur")
+            elif dur < 0:
+                problems.append(f"{where}: negative dur")
+        if ph == "i" and event.get("s", "t") not in ("g", "p", "t"):
+            problems.append(f"{where}: invalid instant scope {event.get('s')!r}")
+    return problems
+
+
+def write_run_artifacts(
+    out_dir: str,
+    tracer,
+    timeseries: Optional[Dict[str, object]] = None,
+    counters: Optional[Dict[str, object]] = None,
+) -> Dict[str, str]:
+    """Write spans.jsonl / trace.json / metrics.json into ``out_dir``.
+
+    ``tracer`` may be ``None`` (metrics-only runs write just
+    ``metrics.json``).  Returns a ``{artifact-name: path}`` map of what was
+    written.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    written: Dict[str, str] = {}
+    if tracer is not None:
+        rows = assemble_spans(tracer.events)
+        spans_path = os.path.join(out_dir, SPANS_FILE)
+        write_jsonl(spans_path, rows)
+        written["spans"] = spans_path
+        trace_path = os.path.join(out_dir, CHROME_TRACE_FILE)
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            json.dump(chrome_trace(rows, tracer.events), handle)
+        written["chrome_trace"] = trace_path
+    payload = {"timeseries": timeseries or {}, "counters": counters or {}}
+    metrics_path = os.path.join(out_dir, METRICS_FILE)
+    with open(metrics_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    written["metrics"] = metrics_path
+    return written

@@ -1,0 +1,179 @@
+"""Span assembly: turn a tracer's flat event log into per-request spans.
+
+A *span* is the causal lifecycle of one traced request::
+
+    submit ──(retries/resubmits)──▶ admit ──▶ propose ──▶ commit
+           ──▶ deliver ──▶ complete ──(quorum / checkpoint)
+
+Assembly runs strictly after the simulation (it is the expensive half the
+tracer defers), correlating request-keyed events with slot-keyed ones via
+the ``propose`` event that names which traced requests each ``(instance,
+sn)`` batch carried.  The output is plain dict *rows* — the same shape the
+JSONL export writes — so report code works identically on an in-memory run
+and on a ``spans.jsonl`` read back from disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..metrics.collector import LatencySummary
+from .tracer import (
+    EVT_ADMIT,
+    EVT_CHECKPOINT,
+    EVT_COMMIT,
+    EVT_COMPLETE,
+    EVT_DELIVER,
+    EVT_DUPLICATE,
+    EVT_PROPOSE,
+    EVT_QUORUM,
+    EVT_REJECT,
+    EVT_RESUBMIT,
+    EVT_RETRY,
+    EVT_SUBMIT,
+)
+
+#: Ordered phase checkpoints of a span row; a *closed* chain has them all.
+CHAIN_FIELDS = ("submit", "admit", "propose", "commit", "deliver", "complete")
+
+#: Phase intervals reported by :func:`phase_breakdown` (label, start, end).
+PHASES = (
+    ("submit→admit", "submit", "admit"),
+    ("admit→propose", "admit", "propose"),
+    ("propose→commit", "propose", "commit"),
+    ("commit→deliver", "commit", "deliver"),
+    ("deliver→complete", "deliver", "complete"),
+    ("total", "submit", "complete"),
+)
+
+
+def _new_row(rid, client: int) -> Dict[str, object]:
+    return {
+        "rid": str(rid),
+        "client": client,
+        "submit": None,
+        "admit": None,
+        "propose": None,
+        "commit": None,
+        "deliver": None,
+        "complete": None,
+        "quorum": None,
+        "checkpoint": None,
+        "instance": None,
+        "slot": None,
+        "retries": [],
+        "resubmits": [],
+        "deliver_nodes": 0,
+        "duplicates": 0,
+        "rejects": [],
+    }
+
+
+def assemble_spans(events: Sequence[Tuple]) -> List[Dict[str, object]]:
+    """Fold a tracer event log into one span row per traced request.
+
+    Rows come out in first-submit order.  Requests that never saw a
+    ``submit`` event (e.g. forged requests crafted by abusive clients) are
+    ignored — they have no client-side lifecycle to account for.
+    """
+    rows: Dict[object, Dict[str, object]] = {}
+    commit_times: Dict[Tuple, float] = {}
+    slot_of: Dict[object, Tuple] = {}
+    checkpoints: List[Tuple[float, int]] = []  # (time, epoch), emission order
+
+    for kind, time, actor, key, detail in events:
+        if kind == EVT_SUBMIT:
+            if key not in rows:
+                rows[key] = _new_row(key, actor)
+                rows[key]["submit"] = time
+        elif kind == EVT_PROPOSE:
+            for rid in detail:
+                row = rows.get(rid)
+                if row is not None and row["propose"] is None:
+                    row["propose"] = time
+                    row["instance"] = list(key[0])
+                    row["slot"] = key[1]
+                    slot_of[rid] = key
+        elif kind == EVT_DELIVER:
+            for rid in detail:
+                row = rows.get(rid)
+                if row is not None:
+                    if row["deliver"] is None:
+                        row["deliver"] = time
+                    row["deliver_nodes"] += 1
+        elif kind == EVT_COMMIT:
+            commit_times.setdefault(key, time)
+        elif kind == EVT_CHECKPOINT:
+            checkpoints.append((time, key))
+        else:
+            row = rows.get(key)
+            if row is None:
+                continue
+            if kind == EVT_ADMIT:
+                if row["admit"] is None:
+                    row["admit"] = time
+            elif kind == EVT_COMPLETE:
+                if row["complete"] is None:
+                    row["complete"] = time
+            elif kind == EVT_QUORUM:
+                if row["quorum"] is None:
+                    row["quorum"] = time
+            elif kind == EVT_RETRY:
+                row["retries"].append(time)
+            elif kind == EVT_RESUBMIT:
+                row["resubmits"].append(time)
+            elif kind == EVT_DUPLICATE:
+                row["duplicates"] += 1
+            elif kind == EVT_REJECT:
+                row["rejects"].append([time, actor, detail])
+
+    # Second pass: commit time via the slot, checkpoint via the epoch.
+    first_checkpoint: Dict[int, float] = {}
+    for time, epoch in checkpoints:
+        first_checkpoint.setdefault(epoch, time)
+    for rid, row in rows.items():
+        slot = slot_of.get(rid)
+        if slot is not None:
+            row["commit"] = commit_times.get(slot)
+            epoch = slot[0][0]
+            ckpt = first_checkpoint.get(epoch)
+            if ckpt is not None and row["commit"] is not None and ckpt >= row["commit"]:
+                row["checkpoint"] = ckpt
+    return sorted(rows.values(), key=lambda r: (r["submit"], r["rid"]))
+
+
+def chain_violation(row: Dict[str, object], require_complete: bool = True) -> Optional[str]:
+    """Why this span's causal chain is not closed, or ``None`` if it is.
+
+    A closed chain has every :data:`CHAIN_FIELDS` milestone present (the
+    final ``complete`` only when ``require_complete``) with monotonically
+    non-decreasing timestamps.
+    """
+    fields = CHAIN_FIELDS if require_complete else CHAIN_FIELDS[:-1]
+    last_time, last_name = None, None
+    for name in fields:
+        value = row.get(name)
+        if value is None:
+            return f"missing {name}"
+        if last_time is not None and value < last_time:
+            return f"{name} ({value:.6f}) precedes {last_name} ({last_time:.6f})"
+        last_time, last_name = value, name
+    return None
+
+
+def phase_breakdown(rows: Iterable[Dict[str, object]]) -> List[Tuple[str, LatencySummary]]:
+    """Per-phase latency statistics over all spans that closed each phase."""
+    samples: Dict[str, List[float]] = {label: [] for label, _s, _e in PHASES}
+    for row in rows:
+        for label, start, end in PHASES:
+            t0, t1 = row.get(start), row.get(end)
+            if t0 is not None and t1 is not None:
+                samples[label].append(t1 - t0)
+    return [(label, LatencySummary.from_samples(samples[label])) for label, _s, _e in PHASES]
+
+
+def slowest_spans(rows: Iterable[Dict[str, object]], count: int = 5) -> List[Dict[str, object]]:
+    """The ``count`` completed spans with the largest end-to-end latency."""
+    completed = [r for r in rows if r.get("submit") is not None and r.get("complete") is not None]
+    completed.sort(key=lambda r: r["complete"] - r["submit"], reverse=True)
+    return completed[:count]

@@ -35,14 +35,12 @@ partition-resilience trajectory is tracked across PRs.  Pass
 
 from __future__ import annotations
 
-import argparse
 import hashlib
-import json
 import sys
 from pathlib import Path
 from typing import Dict, Optional
 
-from . import golden
+from . import golden, smokelib
 from .core.config import NetworkConfig, WorkloadConfig, PROTOCOL_PBFT
 from .core.state_transfer import DEFAULT_PROBE_STAGGER
 from .core.types import Batch
@@ -55,6 +53,7 @@ from .harness.scenarios import (
     prefixes_identical,
 )
 from .harness.runner import DEFAULT_RECOVERY_POLL_INTERVAL
+from .obs import ObsConfig
 from .sim.chaos import LinkFaultSpec
 from .workload.faults import minority_partition
 
@@ -82,17 +81,12 @@ SCENARIO = dict(
 
 def golden_path() -> Path:
     """Location of the partition-determinism golden trace."""
-    return (
-        Path(__file__).resolve().parents[2]
-        / "tests"
-        / "data"
-        / "golden_trace_partition.json"
-    )
+    return smokelib.golden_data_path("golden_trace_partition.json")
 
 
 def bench_output_path() -> Path:
     """Location of the ``BENCH_partition_heal.json`` artefact (repo root)."""
-    return Path(__file__).resolve().parents[2] / "BENCH_partition_heal.json"
+    return smokelib.bench_output_path("BENCH_partition_heal.json")
 
 
 def build_deployment() -> Deployment:
@@ -142,6 +136,7 @@ def build_deployment() -> Deployment:
         recovery_poll=DEFAULT_RECOVERY_POLL_INTERVAL,
         probe_stagger=DEFAULT_PROBE_STAGGER,
         drain_time=15.0,
+        obs=ObsConfig.disabled(),
     )
 
 
@@ -264,52 +259,26 @@ def semantic_violations(figures: Dict[str, object]) -> Optional[str]:
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point: run the smoke scenario and apply the checks."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--update-golden",
-        action="store_true",
-        help="record this run as the new golden trace instead of checking",
-    )
-    args = parser.parse_args(argv)
-
     scenario = SCENARIO
-    print(
-        f"partition smoke: {scenario['num_nodes']} {scenario['protocol']} nodes, "
-        f"node {scenario['isolated_node']} cut off "
-        f"t=[{scenario['partition_start']:.0f}, {scenario['partition_heal']:.0f}), "
-        f"lossy link {scenario['lossy_src']}→{scenario['lossy_dst']} "
-        f"({scenario['loss_rate']:.0%}), {scenario['duration']:.0f}s virtual ..."
+    return smokelib.run_gate(
+        argv,
+        name="partition",
+        description=__doc__.splitlines()[0],
+        banner=(
+            f"partition smoke: {scenario['num_nodes']} {scenario['protocol']} nodes, "
+            f"node {scenario['isolated_node']} cut off "
+            f"t=[{scenario['partition_start']:.0f}, {scenario['partition_heal']:.0f}), "
+            f"lossy link {scenario['lossy_src']}→{scenario['lossy_dst']} "
+            f"({scenario['loss_rate']:.0%}), {scenario['duration']:.0f}s virtual ..."
+        ),
+        run_smoke=run_smoke,
+        golden_path=golden_path(),
+        pinned_keys=PINNED_KEYS,
+        regression_label="PARTITION DETERMINISM REGRESSION",
+        semantic_violations=semantic_violations,
+        bench_path=bench_output_path(),
+        bench_source="partition_smoke",
     )
-    figures = run_smoke()
-    for key, value in figures.items():
-        print(f"  {key}: {value}")
-
-    # Semantic checks apply in every mode: a golden trace of a broken run
-    # must never be recorded.
-    violation = semantic_violations(figures)
-    if violation is not None:
-        print(violation, file=sys.stderr)
-        return 1
-
-    path = golden_path()
-    if args.update_golden:
-        golden.write_golden(figures, path)
-        bench_output_path().write_text(
-            json.dumps({"source": "partition_smoke", **figures}, indent=2) + "\n"
-        )
-        print(f"updated golden trace {path}")
-        return 0
-    error = check_against_golden(figures, path)
-    if error is not None:
-        print(error, file=sys.stderr)
-        return 1
-    # Only a run that passed every gate may refresh the tracked artefact:
-    # the trajectory must never record figures CI rejected.
-    bench_output_path().write_text(
-        json.dumps({"source": "partition_smoke", **figures}, indent=2) + "\n"
-    )
-    print(f"partition determinism check ok (golden {path.name})")
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

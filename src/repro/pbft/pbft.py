@@ -163,6 +163,12 @@ class PbftSB(SBInstance):
         if view in slot.prepare_sent:
             return
         slot.prepare_sent.add(view)
+        tracer = self.context.tracer
+        if tracer is not None:
+            tracer.on_sb(
+                self.context.now(), self.context.node_id,
+                self.context.segment.instance_id, slot.sn, "prepare-vote",
+            )
         self.context.broadcast(Prepare(view=view, sn=slot.sn, digest=digest))
 
     def _on_prepare(self, src: NodeId, message: Prepare) -> None:
@@ -211,6 +217,12 @@ class PbftSB(SBInstance):
         slot.prepared_proof = PreparedProof(
             view=view, sn=slot.sn, digest=digest, value=slot.value
         )
+        tracer = self.context.tracer
+        if tracer is not None:
+            tracer.on_sb(
+                self.context.now(), self.context.node_id,
+                self.context.segment.instance_id, slot.sn, "commit-vote",
+            )
         self.context.broadcast(Commit(view=view, sn=slot.sn, digest=digest))
 
     def _on_commit(self, src: NodeId, message: Commit) -> None:
@@ -228,6 +240,12 @@ class PbftSB(SBInstance):
     def _commit_slot(self, slot: _Slot) -> None:
         slot.committed = True
         value = slot.value if slot.value is not None else NIL
+        tracer = self.context.tracer
+        if tracer is not None:
+            tracer.on_sb(
+                self.context.now(), self.context.node_id,
+                self.context.segment.instance_id, slot.sn, "decided",
+            )
         self.context.deliver(slot.sn, value)
         # Progress resets the view-change backoff (standard PBFT rule): a
         # commit proves the current configuration is live, so later stalls

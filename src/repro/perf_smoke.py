@@ -37,6 +37,8 @@ from typing import Dict, Optional
 from .core.config import ISSConfig, NetworkConfig, SimConfig, WorkloadConfig
 from .harness.runner import Deployment
 from .harness.scenarios import DEFAULT_FLUSH_INTERVAL
+from .obs import ObsConfig
+from .smokelib import print_figures
 
 #: The profiling scenario (keep in sync with PERF.md and the baseline file).
 SCENARIO = dict(
@@ -60,8 +62,15 @@ REGRESSION_TOLERANCE = 0.30
 MIN_MESSAGE_REDUCTION = 0.30
 
 
-def build_deployment(batch_flush_interval: float = 0.0) -> Deployment:
-    """Build the profiling-scenario deployment (optionally wire-batched)."""
+def build_deployment(
+    batch_flush_interval: float = 0.0, obs: Optional[ObsConfig] = None
+) -> Deployment:
+    """Build the profiling-scenario deployment (optionally wire-batched).
+
+    Observability is pinned off by default — the wall-clock baseline must
+    not move with ``REPRO_TRACE*`` env vars; ``repro.obs_smoke`` passes an
+    enabled ``obs`` to measure the tracing overhead on this same scenario.
+    """
     config = ISSConfig(num_nodes=SCENARIO["num_nodes"], random_seed=SCENARIO["random_seed"])
     workload = WorkloadConfig(
         num_clients=SCENARIO["num_clients"],
@@ -69,7 +78,12 @@ def build_deployment(batch_flush_interval: float = 0.0) -> Deployment:
         duration=SCENARIO["duration"],
     )
     network_config = NetworkConfig(batch_flush_interval=batch_flush_interval)
-    return Deployment(config=config, workload=workload, network_config=network_config)
+    return Deployment(
+        config=config,
+        workload=workload,
+        network_config=network_config,
+        obs=obs if obs is not None else ObsConfig.disabled(),
+    )
 
 
 def _run_once(batch_flush_interval: float) -> Dict[str, float]:
@@ -207,13 +221,7 @@ def main(argv: Optional[list] = None) -> int:
         f"unbatched + batched ({BATCH_FLUSH_INTERVAL * 1000:.0f} ms flush) ..."
     )
     figures = run_smoke()
-    for key, value in figures.items():
-        if key == "batched":
-            print("  batched:")
-            for sub_key, sub_value in value.items():
-                print(f"    {sub_key}: {sub_value}")
-        else:
-            print(f"  {key}: {value}")
+    print_figures(figures)
 
     Path(args.output).write_text(json.dumps(figures, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -120,6 +120,12 @@ class RaftSB(SBInstance):
         """Pacer callback at the initial (segment) leader."""
         if self._stopped or self.role != LEADER:
             return
+        tracer = self.context.tracer
+        if tracer is not None:
+            tracer.on_sb(
+                self.context.now(), self.context.node_id,
+                self.context.segment.instance_id, sn, "append",
+            )
         self.log.append(RaftEntry(term=self.term, sn=sn, value=batch))
         self._match_index[self.context.node_id] = self._last_log_index()
         self._replicate_to_all()
@@ -220,6 +226,12 @@ class RaftSB(SBInstance):
             if entry.sn in self._delivered:
                 continue
             self._delivered.add(entry.sn)
+            tracer = self.context.tracer
+            if tracer is not None:
+                tracer.on_sb(
+                    self.context.now(), self.context.node_id,
+                    self.context.segment.instance_id, entry.sn, "decided",
+                )
             self.context.deliver(entry.sn, entry.value)
         if self._all_delivered() and self._election_timer is not None:
             self._election_timer.cancel()

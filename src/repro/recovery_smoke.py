@@ -25,12 +25,11 @@ while the node was down.
 
 from __future__ import annotations
 
-import argparse
 import sys
 from pathlib import Path
 from typing import Dict, Optional
 
-from . import golden
+from . import golden, smokelib
 from .core.config import ISSConfig, NetworkConfig, WorkloadConfig, PROTOCOL_PBFT
 from .core.state_transfer import DEFAULT_PROBE_STAGGER
 from .harness.runner import DEFAULT_RECOVERY_POLL_INTERVAL, Deployment
@@ -41,6 +40,7 @@ from .harness.scenarios import (
     delivered_prefix_matches,
     iss_config,
 )
+from .obs import ObsConfig
 from .sim.faults import CrashSpec, RestartSpec
 
 #: The pinned crash-restart scenario (keep in sync with the golden trace).
@@ -59,12 +59,7 @@ SCENARIO = dict(
 
 def golden_path() -> Path:
     """Location of the restart-determinism golden trace."""
-    return (
-        Path(__file__).resolve().parents[2]
-        / "tests"
-        / "data"
-        / "golden_trace_recovery.json"
-    )
+    return smokelib.golden_data_path("golden_trace_recovery.json")
 
 
 def build_deployment() -> Deployment:
@@ -98,6 +93,7 @@ def build_deployment() -> Deployment:
         restart_specs=[RestartSpec(node=victim, time=SCENARIO["restart_time"])],
         recovery_poll=DEFAULT_RECOVERY_POLL_INTERVAL,
         probe_stagger=DEFAULT_PROBE_STAGGER,
+        obs=ObsConfig.disabled(),
     )
 
 
@@ -154,60 +150,40 @@ def check_against_golden(
     )
 
 
+def semantic_violations(figures: Dict[str, object]) -> Optional[str]:
+    """The recovery claims that must hold regardless of the golden trace."""
+    if not figures["caught_up"]:
+        return (
+            "RECOVERY REGRESSION: the restarted node never caught up "
+            "(time_to_caught_up = -1)"
+        )
+    if not figures["prefix_matches"]:
+        return (
+            "RECOVERY SAFETY VIOLATION: the restarted node's delivered "
+            "sequence diverged from a never-crashed peer's"
+        )
+    return None
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point: run the smoke scenario and apply the checks."""
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--update-golden",
-        action="store_true",
-        help="record this run as the new golden trace instead of checking",
-    )
-    args = parser.parse_args(argv)
-
     scenario = SCENARIO
-    print(
-        f"recovery smoke: {scenario['num_nodes']} {scenario['protocol']} nodes, "
-        f"crash t={scenario['crash_time']:.0f}s, "
-        f"restart t={scenario['restart_time']:.0f}s, "
-        f"{scenario['duration']:.0f}s virtual ..."
+    return smokelib.run_gate(
+        argv,
+        name="recovery",
+        description=__doc__.splitlines()[0],
+        banner=(
+            f"recovery smoke: {scenario['num_nodes']} {scenario['protocol']} nodes, "
+            f"crash t={scenario['crash_time']:.0f}s, "
+            f"restart t={scenario['restart_time']:.0f}s, "
+            f"{scenario['duration']:.0f}s virtual ..."
+        ),
+        run_smoke=run_smoke,
+        golden_path=golden_path(),
+        pinned_keys=PINNED_KEYS,
+        regression_label="RECOVERY DETERMINISM REGRESSION",
+        semantic_violations=semantic_violations,
     )
-    figures = run_smoke()
-    for key, value in figures.items():
-        if key == "recovery":
-            print("  recovery:")
-            for sub_key, sub_value in value.items():
-                print(f"    {sub_key}: {sub_value}")
-        else:
-            print(f"  {key}: {value}")
-
-    # The semantic checks apply in every mode: a golden trace of a broken
-    # recovery must never be recorded.
-    if not figures["caught_up"]:
-        print(
-            "RECOVERY REGRESSION: the restarted node never caught up "
-            "(time_to_caught_up = -1)",
-            file=sys.stderr,
-        )
-        return 1
-    if not figures["prefix_matches"]:
-        print(
-            "RECOVERY SAFETY VIOLATION: the restarted node's delivered "
-            "sequence diverged from a never-crashed peer's",
-            file=sys.stderr,
-        )
-        return 1
-
-    path = golden_path()
-    if args.update_golden:
-        golden.write_golden(figures, path)
-        print(f"updated golden trace {path}")
-        return 0
-    error = check_against_golden(figures, path)
-    if error is not None:
-        print(error, file=sys.stderr)
-        return 1
-    print(f"recovery determinism check ok (golden {path.name})")
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

@@ -113,6 +113,12 @@ class NetworkStats:
     #: random / link-fault / no-handler), so scenarios can tell a partition
     #: drop from a lossy link from a crashed peer.
     dropped_by_cause: Counter = field(default_factory=Counter)
+    #: Lossy-link retransmissions performed by the retransmit transport
+    #: (total and per source node).  Unlike the per-fault counters on
+    #: :class:`~repro.sim.chaos.ActiveLinkFault` these survive fault healing,
+    #: so end-of-run reports can still attribute the traffic.
+    retransmissions: int = 0
+    retransmissions_by_node: Counter = field(default_factory=Counter)
 
     def record_send(self, src: NodeId, size: int) -> None:
         self.messages_sent += 1
@@ -165,6 +171,10 @@ class Network:
         #: the hot path pays one truthiness test).
         self._adversaries: Dict[NodeId, AdversarialSendHook] = {}
         self.stats = NetworkStats()
+        #: Observability hook (``repro.obs.RequestTracer``); installed by the
+        #: harness only when tracing is enabled, ``None`` otherwise.  Only
+        #: rare paths (drops, retransmits) consult it.
+        self.tracer = None
         #: Wire batcher coalescing small batchable messages per (src, dst,
         #: flush tick); ``None`` when batching is disabled (the default).
         self.batcher: Optional[MessageBatcher] = None
@@ -358,6 +368,8 @@ class Network:
                 for fault in faults:
                     if fault.drops(now):
                         self.stats.record_drop(DROP_LINK_FAULT)
+                        if self.tracer is not None:
+                            self._trace_drop(DROP_LINK_FAULT, src, dst, message)
                         retry = fault.spec.retransmit
                         if retry > 0:
                             # Reliable-transport model (TCP under packet
@@ -367,6 +379,14 @@ class Network:
                             # link's chaos (so repeated loss keeps backing
                             # it up until the link lets it through).
                             fault.payloads_retransmitted += 1
+                            self.stats.retransmissions += 1
+                            self.stats.retransmissions_by_node[src] += 1
+                            if self.tracer is not None:
+                                request = getattr(message, "request", None)
+                                self.tracer.on_retransmit(
+                                    now, src, dst,
+                                    None if request is None else request.rid,
+                                )
                             self.sim.schedule_callback(
                                 retry,
                                 lambda: self._dispatch(src, dst, message, size_bytes),
@@ -392,9 +412,13 @@ class Network:
             # coalesced frame.
             if self._partition_group and self._blocked_by_partition(src, dst):
                 self.stats.record_drop(DROP_PARTITION)
+                if self.tracer is not None:
+                    self._trace_drop(DROP_PARTITION, src, dst, message)
                 return
             if self._link_filters and not self._passes_filters(src, dst, message):
                 self.stats.record_drop(DROP_LINK_FILTER)
+                if self.tracer is not None:
+                    self._trace_drop(DROP_LINK_FILTER, src, dst, message)
                 return
             batcher.enqueue(src, dst, message)
             return
@@ -418,22 +442,30 @@ class Network:
         # Fault checks, each reduced to one truthiness test when inactive.
         if self._crashed and (src in self._crashed or dst in self._crashed):
             stats.record_drop(DROP_CRASH)
+            if self.tracer is not None:
+                self._trace_drop(DROP_CRASH, src, dst, message)
             return
         # Frames re-check the partition at flush time: payloads enqueued
         # before the split are still in the sender's buffer, and the wire
         # transmission itself is what the partition blocks.
         if self._partition_group and self._blocked_by_partition(src, dst):
             stats.record_drop(DROP_PARTITION)
+            if self.tracer is not None:
+                self._trace_drop(DROP_PARTITION, src, dst, message)
             return
         # Coalesced frames skip the filter loop: each payload already passed
         # it individually at enqueue time.
         if self._link_filters and message.__class__ is not MessageBatchMsg:
             if not self._passes_filters(src, dst, message):
                 stats.record_drop(DROP_LINK_FILTER)
+                if self.tracer is not None:
+                    self._trace_drop(DROP_LINK_FILTER, src, dst, message)
                 return
         config = self.config
         if config.drop_rate > 0 and self._rng.random() < config.drop_rate:
             stats.record_drop(DROP_RANDOM)
+            if self.tracer is not None:
+                self._trace_drop(DROP_RANDOM, src, dst, message)
             return
 
         # NIC serialisation at the sender: back-to-back messages queue up.
@@ -495,10 +527,14 @@ class Network:
     def _deliver(self, src: NodeId, dst: NodeId, message: object) -> None:
         if self._crashed and (dst in self._crashed or src in self._crashed):
             self.stats.record_drop(DROP_CRASH)
+            if self.tracer is not None:
+                self._trace_drop(DROP_CRASH, src, dst, message)
             return
         handler = self._handlers.get(dst)
         if handler is None:
             self.stats.record_drop(DROP_NO_HANDLER)
+            if self.tracer is not None:
+                self._trace_drop(DROP_NO_HANDLER, src, dst, message)
             return
         if message.__class__ is MessageBatchMsg:
             # Unpack the wire frame: every coalesced payload reaches the
@@ -512,6 +548,18 @@ class Network:
         handler(src, message)
 
     # ------------------------------------------------------------- utilities
+    def _trace_drop(self, cause: str, src: NodeId, dst: NodeId, message: object) -> None:
+        """Rare-path tracer notification for a dropped message.
+
+        Attributes the drop to the carried request when the message is a
+        client request; callers guard on ``self.tracer is not None`` so the
+        drop-free hot path never reaches this method.
+        """
+        request = getattr(message, "request", None)
+        self.tracer.on_drop(
+            self.sim.now, src, dst, cause, None if request is None else request.rid
+        )
+
     def nic_backlog(self, node: NodeId) -> float:
         """Seconds of queued transmission time remaining on a node's NIC."""
         return max(0.0, self._nic_free_at.get(node, 0.0) - self.sim.now)

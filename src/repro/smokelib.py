@@ -1,0 +1,121 @@
+"""Shared skeleton of the seeded smoke-test CLIs.
+
+Every golden-trace smoke gate (``repro.recovery_smoke``,
+``repro.byzantine_smoke``, ``repro.partition_smoke``,
+``repro.client_abuse_smoke``, ``repro.obs_smoke``) follows the same shape:
+
+1. run the pinned scenario and collect a flat figure dict,
+2. print the figures (nested sub-dicts indented),
+3. apply the scenario's *semantic* checks — claims that must hold in every
+   mode, so a golden trace of a broken run can never be recorded,
+4. either record the figures as the new golden trace (``--update-golden``)
+   or compare the pinned keys against the recorded one bit for bit,
+5. on success, optionally refresh a ``BENCH_*.json`` artefact in the repo
+   root so the trajectory is tracked across PRs.
+
+This module owns that skeleton (:func:`run_gate`) plus the small shared
+helpers (path construction, figure printing, bench writing).  The
+scenario-specific parts — the deployment, the figures, the pinned keys and
+the semantic claims — stay in each smoke module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence
+
+from . import golden
+
+
+def repo_root() -> Path:
+    """The repository root (parent of ``src/``), where artefacts live."""
+    return Path(__file__).resolve().parents[2]
+
+
+def golden_data_path(filename: str) -> Path:
+    """Location of a golden-trace file under ``tests/data/``."""
+    return repo_root() / "tests" / "data" / filename
+
+
+def bench_output_path(filename: str) -> Path:
+    """Location of a tracked ``BENCH_*.json`` artefact (repo root)."""
+    return repo_root() / filename
+
+
+def print_figures(figures: Dict[str, object]) -> None:
+    """Print a figure dict one key per line, nested dicts indented."""
+    for key, value in figures.items():
+        if isinstance(value, dict):
+            print(f"  {key}:")
+            for sub_key, sub_value in value.items():
+                print(f"    {sub_key}: {sub_value}")
+        else:
+            print(f"  {key}: {value}")
+
+
+def write_bench(path: Path, source: str, figures: Dict[str, object]) -> None:
+    """Write a tracked bench artefact: the figures tagged with their source."""
+    path.write_text(json.dumps({"source": source, **figures}, indent=2) + "\n")
+
+
+def run_gate(
+    argv: Optional[Sequence[str]],
+    *,
+    name: str,
+    banner: str,
+    run_smoke: Callable[[], Dict[str, object]],
+    golden_path: Path,
+    pinned_keys: Sequence[str],
+    regression_label: str,
+    description: Optional[str] = None,
+    semantic_violations: Optional[
+        Callable[[Dict[str, object]], Optional[str]]
+    ] = None,
+    bench_path: Optional[Path] = None,
+    bench_source: Optional[str] = None,
+) -> int:
+    """The shared smoke-gate ``main()``: run, print, check, record.
+
+    Returns the process exit code (0 ok, 1 on any violation).  The semantic
+    checks run in *every* mode, including ``--update-golden``: a golden
+    trace — or a bench artefact — of a broken run must never be recorded.
+    The bench artefact is likewise only refreshed by runs that passed every
+    gate, so the tracked trajectory never records figures CI rejected.
+    """
+    parser = argparse.ArgumentParser(description=description or f"{name} smoke gate")
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="record this run as the new golden trace instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    print(banner)
+    figures = run_smoke()
+    print_figures(figures)
+
+    if semantic_violations is not None:
+        violation = semantic_violations(figures)
+        if violation is not None:
+            print(violation, file=sys.stderr)
+            return 1
+
+    if args.update_golden:
+        golden.write_golden(figures, golden_path)
+        if bench_path is not None:
+            write_bench(bench_path, bench_source or name, figures)
+        print(f"updated golden trace {golden_path}")
+        return 0
+    error = golden.check_against_golden(
+        figures, golden_path, pinned_keys, regression_label
+    )
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 1
+    if bench_path is not None:
+        write_bench(bench_path, bench_source or name, figures)
+    print(f"{name} determinism check ok (golden {golden_path.name})")
+    return 0

@@ -64,8 +64,12 @@ class RecoveryInfo:
 class RecoveryManager:
     """Reconstructs a freshly built node from one :class:`NodeStorage`."""
 
-    def __init__(self, storage: NodeStorage):
+    def __init__(self, storage: NodeStorage, tracer=None):
         self.storage = storage
+        #: Observability hook (``repro.obs.RequestTracer``); when set, each
+        #: recovery phase emits one event so post-restart gaps in a request's
+        #: span are attributable to the replay that bridged them.
+        self.tracer = tracer
 
     def recover(self, node, now: float) -> RecoveryInfo:
         """Restore ``node`` (a fresh, not-yet-started ISS node) from storage.
@@ -109,6 +113,11 @@ class RecoveryManager:
             node.epochs_completed += 1
             resume += 1
         info.resume_epoch = resume
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_recovery(now, node.node_id, "snapshot", info.snapshot_entries)
+            tracer.on_recovery(now, node.node_id, "wal-replay", info.wal_entries_replayed)
+            tracer.on_recovery(now, node.node_id, "fast-forward", info.resume_epoch)
 
         # Replay contiguous delivery so the application (and the metrics
         # listeners) observe the restored prefix in the original order.
@@ -117,6 +126,10 @@ class RecoveryManager:
         # duplicates anyway.
         delivered = node.log.advance_delivery(now)
         info.requests_redelivered = len(delivered)
+        if tracer is not None:
+            tracer.on_recovery(now, node.node_id, "redeliver", info.requests_redelivered)
+            if delivered:
+                tracer.on_deliver_batch(now, node.node_id, delivered)
         on_deliver = node.on_deliver
         if on_deliver is not None:
             for item in delivered:

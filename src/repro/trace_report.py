@@ -1,0 +1,219 @@
+"""Per-phase latency report over recorded spans (``python -m repro.trace_report``).
+
+Reads the artifacts a traced run wrote (``spans.jsonl`` and ``metrics.json``
+under ``REPRO_TRACE_DIR``, see :mod:`repro.obs.export`) and prints
+
+* the request-lifecycle **phase breakdown** — count / mean / p50 / p95 /
+  p99 / max latency of every span phase (submit→admit, admit→propose,
+  propose→commit, commit→deliver, deliver→complete, total),
+* the **slowest spans** end to end, with their retry/resubmission history,
+* the run's **chaos counters**: payload drops split by cause, per-node
+  retransmissions, and per-client retries — the numbers that explain *why*
+  the slow spans were slow.
+
+Without a directory argument, ``--demo`` runs a small traced scenario
+in-process and reports on it — a one-command way to see the whole
+observability pipeline work::
+
+    PYTHONPATH=src python -m repro.trace_report --demo
+    PYTHONPATH=src REPRO_TRACE=1 REPRO_TRACE_DIR=/tmp/run python - <<'EOF'
+    ...  # any harness run
+    EOF
+    PYTHONPATH=src python -m repro.trace_report /tmp/run
+
+Span rows are plain dicts with identical shape in memory and on disk, so
+this module works the same on freshly assembled spans and on re-read
+``spans.jsonl`` files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .metrics.report import format_table, print_banner
+from .obs.export import METRICS_FILE, SPANS_FILE, read_jsonl
+from .obs.spans import assemble_spans, chain_violation, phase_breakdown, slowest_spans
+
+
+def load_artifacts(
+    directory: Path,
+) -> Tuple[List[Dict[str, object]], Dict[str, object]]:
+    """Read ``spans.jsonl`` and ``metrics.json`` from an artifact directory.
+
+    Returns ``(span_rows, metrics)``; each is empty when the corresponding
+    file is missing (a metrics-only run has no spans and vice versa).
+    """
+    spans_path = directory / SPANS_FILE
+    metrics_path = directory / METRICS_FILE
+    rows = read_jsonl(spans_path) if spans_path.exists() else []
+    metrics: Dict[str, object] = {}
+    if metrics_path.exists():
+        metrics = json.loads(metrics_path.read_text())
+    return rows, metrics
+
+
+def demo_artifacts() -> Tuple[List[Dict[str, object]], Dict[str, object]]:
+    """Run a small traced scenario in-process and return its report inputs.
+
+    The scenario (4 PBFT nodes, 150 req/s for 6 virtual seconds) runs with
+    full-rate span tracing and a 1 s metrics sampler, exactly as a
+    ``REPRO_TRACE=1`` run would — just without touching the filesystem.
+    """
+    from .core.config import ISSConfig, WorkloadConfig
+    from .harness.runner import Deployment
+    from .obs import ObsConfig
+
+    deployment = Deployment(
+        ISSConfig(num_nodes=4, random_seed=7),
+        workload=WorkloadConfig(num_clients=4, total_rate=150.0, duration=6.0),
+        obs=ObsConfig(trace=True, sample=1.0, metrics_interval=1.0),
+    )
+    result = deployment.run()
+    rows = assemble_spans(deployment.tracer.events)
+    metrics = {
+        "timeseries": result.report.timeseries,
+        "counters": deployment.obs_counters(),
+    }
+    return rows, metrics
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value * 1000.0:.2f}"
+
+
+def print_report(
+    rows: List[Dict[str, object]],
+    metrics: Dict[str, object],
+    slowest: int = 5,
+) -> None:
+    """Print the full trace report for one run's spans and counters."""
+    print_banner("Request trace report")
+    completed = [r for r in rows if r.get("complete") is not None]
+    violations = sum(1 for r in completed if chain_violation(r) is not None)
+    print(
+        f"{len(rows)} spans, {len(completed)} completed, "
+        f"{violations} chain violation(s)"
+    )
+
+    if rows:
+        print("\nPhase latency breakdown:")
+        print(
+            format_table(
+                ("phase", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms"),
+                [
+                    (
+                        label,
+                        summary.count,
+                        _fmt_ms(summary.mean),
+                        _fmt_ms(summary.p50),
+                        _fmt_ms(summary.p95),
+                        _fmt_ms(summary.p99),
+                        _fmt_ms(summary.maximum),
+                    )
+                    for label, summary in phase_breakdown(rows)
+                ],
+            )
+        )
+
+    worst = slowest_spans(rows, count=slowest)
+    if worst:
+        print(f"\nSlowest {len(worst)} spans end to end:")
+        print(
+            format_table(
+                ("rid", "client", "submit s", "total ms", "retries", "resubmits"),
+                [
+                    (
+                        row["rid"],
+                        row["client"],
+                        f"{row['submit']:.3f}",
+                        _fmt_ms(row["complete"] - row["submit"]),
+                        len(row.get("retries", ())),
+                        len(row.get("resubmits", ())),
+                    )
+                    for row in worst
+                ],
+            )
+        )
+
+    counters = metrics.get("counters") or {}
+    if counters:
+        print("\nChaos counters:")
+        drops = counters.get("drops_by_cause") or {}
+        for cause in sorted(drops):
+            print(f"  drops[{cause}]: {drops[cause]}")
+        print(f"  retransmissions_total: {counters.get('retransmissions_total', 0)}")
+        for node, count in sorted(
+            (counters.get("retransmissions_by_node") or {}).items(),
+            key=lambda item: int(item[0]),
+        ):
+            print(f"  retransmissions[node {node}]: {count}")
+        print(f"  client_retries_total: {counters.get('client_retries_total', 0)}")
+        for client, count in sorted(
+            (counters.get("client_retries_by_client") or {}).items(),
+            key=lambda item: int(item[0]),
+        ):
+            print(f"  client_retries[client {client}]: {count}")
+
+    timeseries = metrics.get("timeseries") or {}
+    series = timeseries.get("series") or {}
+    if series:
+        names = sorted(series)
+        print(
+            f"\nTime series: {len(timeseries.get('times', ()))} ticks every "
+            f"{timeseries.get('interval')}s, {len(names)} series "
+            f"({', '.join(names[:6])}{', ...' if len(names) > 6 else ''})"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: report on an artifact directory or the demo run."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "directory",
+        nargs="?",
+        help="artifact directory a traced run wrote (REPRO_TRACE_DIR)",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="run a small traced scenario in-process and report on it",
+    )
+    parser.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        help="how many slowest spans to list (default 5)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.demo:
+        rows, metrics = demo_artifacts()
+    elif args.directory is not None:
+        directory = Path(args.directory)
+        if not directory.is_dir():
+            print(f"not a directory: {directory}", file=sys.stderr)
+            return 1
+        rows, metrics = load_artifacts(directory)
+        if not rows and not metrics:
+            print(
+                f"no {SPANS_FILE} or {METRICS_FILE} under {directory} — "
+                f"was the run traced (REPRO_TRACE=1, REPRO_TRACE_DIR set)?",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        print(
+            "nothing to report on: pass an artifact directory or --demo",
+            file=sys.stderr,
+        )
+        return 1
+    print_report(rows, metrics, slowest=args.slowest)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -5,10 +5,11 @@ import pytest
 from repro.core.config import ISSConfig, WorkloadConfig, POLICY_BACKOFF, POLICY_SIMPLE
 from repro.core.types import is_nil
 from repro.harness.runner import Deployment
+from repro.obs import ObsConfig
 from repro.workload.faults import epoch_end_crashes, epoch_start_crashes, stragglers
 
 
-def build(protocol="pbft", num_nodes=4, rate=200.0, duration=20.0, crash_specs=(), straggler_specs=(), **overrides):
+def build(protocol="pbft", num_nodes=4, rate=200.0, duration=20.0, crash_specs=(), straggler_specs=(), obs=None, **overrides):
     defaults = dict(
         epoch_length=16,
         max_batch_size=32,
@@ -26,6 +27,7 @@ def build(protocol="pbft", num_nodes=4, rate=200.0, duration=20.0, crash_specs=(
         crash_specs=crash_specs,
         straggler_specs=straggler_specs,
         drain_time=10.0,
+        obs=obs,
     )
 
 
@@ -78,7 +80,12 @@ class TestStragglers:
 
     def test_spiky_delivery_pattern(self):
         """Delivery progresses in bursts gated by the slowest leader (Figure 12)."""
-        result = build(duration=20.0, rate=300.0, straggler_specs=stragglers(1, 4, delay=2.0)).run()
+        result = build(
+            duration=20.0,
+            rate=300.0,
+            straggler_specs=stragglers(1, 4, delay=2.0),
+            obs=ObsConfig(metrics_interval=1.0),
+        ).run()
         timeline = [count for _, count in result.report.throughput_timeline]
         idle = sum(1 for v in timeline if v == 0)
         busy = sum(1 for v in timeline if v > 0)

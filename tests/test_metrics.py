@@ -79,7 +79,7 @@ class TestMetricsCollector:
         report = collector.report(duration=10.0)
         assert report.completed == 1
 
-    def test_throughput_and_timeline(self):
+    def test_throughput(self):
         collector = MetricsCollector(completion_quorum=1)
         for i in range(10):
             request = make_request(timestamp=i)
@@ -87,9 +87,9 @@ class TestMetricsCollector:
             collector.record_delivery(0, delivered(request, at=0.5 + i * 0.1))
         report = collector.report(duration=2.0)
         assert report.throughput == pytest.approx(5.0)
-        timeline = collector.throughput_timeline(duration=2.0, bucket=1.0)
-        assert len(timeline) == 2
-        assert sum(v for _, v in timeline) == pytest.approx(10.0)
+        # Per-second timelines come from the observability sampler
+        # (``repro.obs.MetricsSampler``), not from the collector.
+        assert report.throughput_timeline == []
 
     def test_report_extra_passthrough(self):
         collector = MetricsCollector(completion_quorum=1)
