@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check perf-smoke recovery-smoke byzantine-smoke client-abuse-smoke partition-smoke fuzz-smoke obs-smoke fig5-smoke bench
+.PHONY: test docs-check perf-smoke recovery-smoke byzantine-smoke client-abuse-smoke partition-smoke membership-smoke fuzz-smoke obs-smoke fig5-smoke bench
 
 # Tier-1 test suite (the CI gate; see ROADMAP.md).
 test:
@@ -47,6 +47,14 @@ client-abuse-smoke:
 # Writes BENCH_partition_heal.json.
 partition-smoke:
 	$(PYTHON) -m repro.partition_smoke
+
+# Seeded reconfiguration scenario: a replica added and another removed via
+# ConfigTxs ordered in the log; both changes must activate at epoch
+# boundaries, the joiner must catch up via state transfer, every client must
+# complete, and the run must replay deterministically against
+# tests/data/golden_trace_membership.json (see repro.membership_smoke).
+membership-smoke:
+	$(PYTHON) -m repro.membership_smoke
 
 # Seeded random scenarios on both simulator engines: safety invariants must
 # hold and the engines must stay bit-identical (see repro.fuzz_smoke).

@@ -24,6 +24,11 @@ Runs, in order:
   laggard must reconverge via state transfer at heal, and the run must
   replay deterministically against the partition golden trace (writes
   ``BENCH_partition_heal.json``),
+* ``python -m repro.membership_smoke`` — seeded reconfiguration
+  scenario (a replica added and another removed via ConfigTxs ordered in
+  the log); both changes must activate at epoch boundaries, the joiner
+  must catch up via state transfer, every client must complete, and the
+  run must replay deterministically against the membership golden trace,
 * ``python -m repro.fuzz_smoke`` (reduced count) — seeded random
   scenarios run on both simulator engines; safety invariants must hold
   and the engines must stay bit-identical,
@@ -59,6 +64,7 @@ from repro.client_abuse_smoke import main as client_abuse_main  # noqa: E402
 from repro.doccheck import main as doccheck_main  # noqa: E402
 from repro.fuzz_smoke import main as fuzz_main  # noqa: E402
 from repro.obs_smoke import main as obs_main  # noqa: E402
+from repro.membership_smoke import main as membership_main  # noqa: E402
 from repro.partition_smoke import main as partition_main  # noqa: E402
 from repro.perf_smoke import main as perf_main  # noqa: E402
 from repro.recovery_smoke import main as recovery_main  # noqa: E402
@@ -71,6 +77,7 @@ if __name__ == "__main__":
     byzantine_status = byzantine_main([])
     client_abuse_status = client_abuse_main([])
     partition_status = partition_main([])
+    membership_status = membership_main([])
     fuzz_status = fuzz_main(["--count", "6"])
     obs_status = obs_main([])
     fig5_status = fig5_main(["--smoke"])
@@ -81,6 +88,7 @@ if __name__ == "__main__":
         or byzantine_status
         or client_abuse_status
         or partition_status
+        or membership_status
         or fuzz_status
         or obs_status
         or fig5_status

@@ -41,6 +41,10 @@ from .sim.faults import (
     StragglerSpec,
     ByzantineSpec,
     MaliciousClientSpec,
+    MembershipSpec,
+    MEMBER_ADD,
+    MEMBER_REMOVE,
+    MEMBER_EVICT_DETECTED,
     BYZ_EQUIVOCATE,
     BYZ_CENSOR,
     BYZ_INVALID_VOTES,
@@ -87,6 +91,10 @@ __all__ = [
     "StragglerSpec",
     "ByzantineSpec",
     "MaliciousClientSpec",
+    "MembershipSpec",
+    "MEMBER_ADD",
+    "MEMBER_REMOVE",
+    "MEMBER_EVICT_DETECTED",
     "ObsConfig",
     "PartitionSpec",
     "LinkFaultSpec",

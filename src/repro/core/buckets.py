@@ -100,6 +100,7 @@ def assignment_for_epoch(
     leaders: Sequence[NodeId],
     num_nodes: int,
     num_buckets: int,
+    active_nodes: Optional[Sequence[NodeId]] = None,
 ) -> Dict[NodeId, List[BucketId]]:
     """Bucket assignment for every leader of ``epoch``.
 
@@ -108,14 +109,31 @@ def assignment_for_epoch(
     :func:`buckets_for_leader` per leader (the test suite asserts the
     equivalence) but computed in a single O(|B|) pass, since clients and the
     epoch manager evaluate it frequently.
+
+    ``active_nodes`` is the epoch's membership (sorted node ids) under
+    dynamic reconfiguration.  Equation (1) then rotates over the *index* in
+    the active list rather than the raw node id — identical to the paper's
+    ``(b + e) mod n`` whenever the membership is the genesis ``0..n-1``,
+    but well-defined for arbitrary replica sets (the bucket space itself
+    stays fixed at its genesis size).
     """
     ordered_leaders = sorted(set(leaders))
     if not ordered_leaders:
         raise ValueError("assignment needs at least one leader")
+    if active_nodes is not None:
+        active = sorted(active_nodes)
+        contiguous = active == list(range(len(active)))
+    else:
+        active = list(range(num_nodes))
+        contiguous = True
     leader_index = {leader: k for k, leader in enumerate(ordered_leaders)}
     assignment: Dict[NodeId, List[BucketId]] = {leader: [] for leader in ordered_leaders}
+    num_active = len(active)
     for bucket in range(num_buckets):
-        initial_owner = (bucket + epoch) % num_nodes
+        if contiguous:
+            initial_owner = (bucket + epoch) % num_active
+        else:
+            initial_owner = active[(bucket + epoch) % num_active]
         if initial_owner in leader_index:
             assignment[initial_owner].append(bucket)
         else:

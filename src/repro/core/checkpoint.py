@@ -70,12 +70,23 @@ class CheckpointProtocol:
         key_store: KeyStore,
         broadcast_fn: Callable[[object], None],
         on_stable: Callable[[EpochNr, CheckpointCertificate], None],
+        view_fn: Optional[Callable[[EpochNr], object]] = None,
+        view_sealed_fn: Optional[Callable[[EpochNr], bool]] = None,
     ):
         self.node_id = node_id
         self.config = config
         self.key_store = key_store
         self._broadcast = broadcast_fn
         self.on_stable = on_stable
+        #: Dynamic-membership hooks: ``view_fn`` maps an epoch to its
+        #: MembershipView so the quorum size and the admissible signer set
+        #: follow the committed configuration; ``view_sealed_fn`` reports
+        #: whether that view is authoritative yet (a catching-up node only
+        #: estimates views beyond its seal frontier, so the signer-subset
+        #: check is deferred there — quorum-many valid distinct signatures
+        #: are still required).  None = static genesis configuration.
+        self._view_fn = view_fn
+        self._view_sealed = view_sealed_fn
         #: Received signatures per (epoch, last_sn, root): sender -> signature.
         self._received: Dict[Tuple[EpochNr, SeqNr, bytes], Dict[NodeId, bytes]] = {}
         self._stable: Dict[EpochNr, CheckpointCertificate] = {}
@@ -115,13 +126,36 @@ class CheckpointProtocol:
             return
         self._record(message)
 
+    def _quorum_for(self, epoch: EpochNr) -> int:
+        if self._view_fn is None:
+            return self.config.strong_quorum
+        return self._view_fn(epoch).strong_quorum
+
+    def _members_for(self, epoch: EpochNr):
+        """Admissible signer set of ``epoch``, or None when unknown/static.
+
+        Only sealed epochs have an authoritative view; for epochs beyond
+        the local seal frontier (a node still catching up) no signer-subset
+        restriction applies.
+        """
+        if self._view_fn is None:
+            return None
+        if self._view_sealed is not None and not self._view_sealed(epoch):
+            return None
+        return self._view_fn(epoch).nodes
+
     def _record(self, message: CheckpointMsg) -> None:
         if message.epoch in self._stable:
+            return
+        members = self._members_for(message.epoch)
+        if members is not None and message.sender not in members:
+            # Votes from replicas outside the epoch's membership (e.g. a
+            # removed node's stale broadcast) never count towards stability.
             return
         key = (message.epoch, message.last_sn, message.log_root)
         signatures = self._received.setdefault(key, {})
         signatures[message.sender] = message.signature
-        if len(signatures) >= self.config.strong_quorum:
+        if len(signatures) >= self._quorum_for(message.epoch):
             certificate = CheckpointCertificate(
                 epoch=message.epoch,
                 last_sn=message.last_sn,
@@ -169,15 +203,26 @@ class CheckpointProtocol:
         return max(self._stable) if self._stable else None
 
     def verify_certificate(self, certificate: CheckpointCertificate) -> bool:
-        """Check a certificate received from a peer (used by state transfer)."""
-        if len(certificate.signatures) < self.config.strong_quorum:
+        """Check a certificate received from a peer (used by state transfer).
+
+        Under dynamic membership the quorum size and the admissible signer
+        set are those of the certificate's epoch as far as this node has
+        sealed it; for epochs beyond the local seal frontier the latest
+        sealed view applies (a catching-up node tightens retroactively as
+        it seals — certificates are re-served on demand, never cached
+        unverified).
+        """
+        if len(certificate.signatures) < self._quorum_for(certificate.epoch):
             return False
+        members = self._members_for(certificate.epoch)
         payload = checkpoint_signing_payload(
             certificate.epoch, certificate.last_sn, certificate.log_root
         )
         seen: set = set()
         for node, signature in certificate.signatures:
             if node in seen:
+                return False
+            if members is not None and node not in members:
                 return False
             if not self.key_store.verify(node, payload, signature):
                 return False

@@ -44,6 +44,7 @@ from .config import ISSConfig, PROTOCOL_CONSENSUS
 from .leader_policy import LeaderSelectionPolicy
 from .log import Log
 from .manager import EpochManager
+from .membership import MembershipTracker
 from .messages import (
     BucketAssignmentMsg,
     ClientRequestMsg,
@@ -94,6 +95,7 @@ class ISSNode:
         storage: Optional[NodeStorage] = None,
         probe_stagger: Optional[float] = None,
         tracer=None,
+        membership_enabled: bool = False,
     ):
         self.node_id = node_id
         self.config = config
@@ -130,7 +132,27 @@ class ISSNode:
             self.watermarks,
             verify_signatures=config.client_signatures,
         )
-        self.manager = EpochManager(config, policy=policy, layout=layout)
+        #: Dynamic membership (None = static genesis configuration).  The
+        #: tracker derives every epoch's replica set from the committed log,
+        #: so it is reconstructed for free by WAL replay and state transfer.
+        self.membership = (
+            MembershipTracker(config, self.log) if membership_enabled else None
+        )
+        #: Harness hook fired on every membership activation:
+        #: ``listener(node_id, epoch, view, added, removed)``.
+        self.membership_listener = None
+        #: True once this node was removed from membership and quiesced.
+        self.retired = False
+        #: First epoch this incarnation is a member of.  Genesis replicas
+        #: are members from epoch 0; a (re-)added replica is a member from
+        #: the activation epoch of its add-ConfigTx.  Removals activated
+        #: *before* this epoch are history the node replays while catching
+        #: up (a rolling upgrade's earlier removal of the very same id) —
+        #: they must not retire the new incarnation.
+        self.join_epoch: EpochNr = 0
+        self.manager = EpochManager(
+            config, policy=policy, layout=layout, membership=self.membership
+        )
         self.current_epoch: EpochNr = 0
         #: Batches this node proposed, per sequence number (for resurrection).
         self._proposed: Dict[SeqNr, Batch] = {}
@@ -161,6 +183,14 @@ class ISSNode:
             key_store=key_store,
             broadcast_fn=self._broadcast_to_nodes,
             on_stable=self._on_stable_checkpoint,
+            view_fn=(
+                self.membership.view_for if self.membership is not None else None
+            ),
+            view_sealed_fn=(
+                (lambda epoch: epoch <= self.membership.sealed_through + 1)
+                if self.membership is not None
+                else None
+            ),
         )
         self.state_transfer = StateTransfer(
             node_id=node_id,
@@ -233,8 +263,7 @@ class ISSNode:
         peers, so votes alone can no longer complete it here).
         """
         self._catchup_aggressive = True
-        peers = [n for n in range(self.config.num_nodes) if n != self.node_id]
-        self.state_transfer.request_latest(self.current_epoch, peers)
+        self.state_transfer.request_latest(self.current_epoch, self._peer_nodes())
 
     def end_recovery_catchup(self) -> None:
         """Leave aggressive catch-up mode (the node is back at the frontier)."""
@@ -265,12 +294,32 @@ class ISSNode:
         return self._handle_client_request(request)
 
     # ============================================================== networking
+    def _active_nodes(self) -> Sequence[NodeId]:
+        """The replica set this node currently addresses.
+
+        The current epoch's membership view under dynamic reconfiguration;
+        the genesis ``range(n)`` otherwise (identical values, so static
+        deployments keep a bit-identical schedule).
+        """
+        if self.membership is not None:
+            return self.membership.view_for(self.current_epoch).nodes
+        return range(self.config.num_nodes)
+
+    def _peer_nodes(self) -> List[NodeId]:
+        """Every active node except this one (state-transfer peer set)."""
+        peers = [n for n in self._active_nodes() if n != self.node_id]
+        if not peers:
+            # A node outside its own view (e.g. a joiner whose local seal
+            # frontier predates its admission) probes the genesis replicas.
+            peers = [n for n in range(self.config.num_nodes) if n != self.node_id]
+        return peers
+
     def _send_to_node(self, dst: NodeId, message: object) -> None:
         self.network.send(self.node_id, dst, message)
 
     def _broadcast_to_nodes(self, message: object) -> None:
-        """Send to every other node; deliver locally without network cost."""
-        for node in range(self.config.num_nodes):
+        """Send to every other active node; deliver locally without network cost."""
+        for node in self._active_nodes():
             if node == self.node_id:
                 self.sim.call_soon(lambda m=message: self.on_message(self.node_id, m))
             else:
@@ -401,11 +450,19 @@ class ISSNode:
 
     def _build_context(self, segment: SegmentDescriptor, interval: float) -> SBContext:
         is_straggler_leader = self.straggler is not None and segment.leader == self.node_id
+        view = (
+            self.membership.view_for(segment.epoch)
+            if self.membership is not None
+            else None
+        )
         return SBContext(
             node_id=self.node_id,
             config=self.config,
             segment=segment,
-            all_nodes=list(range(self.config.num_nodes)),
+            all_nodes=(
+                list(view.nodes) if view is not None else list(range(self.config.num_nodes))
+            ),
+            membership=view,
             send_fn=lambda dst, payload, seg=segment: self._send_instance_message(
                 dst, seg.instance_id, payload
             ),
@@ -619,11 +676,52 @@ class ISSNode:
         # processed strictly sequentially (Algorithm 1, line 50).
         while self.manager.epoch_complete(self.current_epoch, self.log) and not self.crashed:
             finished = self.current_epoch
-            self.manager.finish_epoch(finished, self.log)
+            activation = self.manager.finish_epoch(finished, self.log)
             self.checkpoints.local_epoch_complete(finished, self.log)
             self.advance_client_watermarks()
             self.epochs_completed += 1
+            if activation is not None and (activation[0] or activation[1]):
+                self._on_membership_activation(finished + 1, *activation)
+                if self.retired:
+                    return
             self._start_epoch(finished + 1)
+
+    # ======================================================= dynamic membership
+    def _on_membership_activation(
+        self, epoch: EpochNr, added: Tuple[NodeId, ...], removed: Tuple[NodeId, ...]
+    ) -> None:
+        """A sealed epoch changed the membership, effective from ``epoch``.
+
+        Persists the activated view, emits observability events, notifies
+        the harness (which boots joining replicas and quiesces removed
+        ones), and — when this node itself was removed — retires it.  The
+        finished epoch's SB instances have all delivered by construction
+        (the epoch is complete), so nothing is left in flight to drain.
+        """
+        view = self.membership.view_for(epoch)
+        if self.storage is not None:
+            self.storage.record_membership(epoch, view.nodes)
+        if self.tracer is not None:
+            self.tracer.on_membership(self.sim.now, self.node_id, epoch, added, removed)
+        listener = self.membership_listener
+        if listener is not None:
+            listener(self.node_id, epoch, view, added, removed)
+        if self.node_id not in view and epoch >= self.join_epoch:
+            self.retire()
+
+    def retire(self) -> None:
+        """Quiesce a replica removed from membership.
+
+        Identical teardown to :meth:`crash` (stop SB instances, state
+        transfer, timers) plus the ``retired`` marker the harness and the
+        invariant checkers use to distinguish a clean removal from a fault.
+        The node's delivered log remains a valid prefix; it just stops
+        extending it.
+        """
+        if self.retired:
+            return
+        self.retired = True
+        self.crash()
 
     def advance_client_watermarks(self) -> None:
         """One epoch transition's worth of Section 3.7 client bookkeeping:
@@ -667,8 +765,9 @@ class ISSNode:
     def _maybe_request_state_transfer(self, checkpoint_epoch: EpochNr) -> None:
         """A stable checkpoint ahead of us means we fell behind: catch up."""
         if checkpoint_epoch > self.current_epoch:
-            peers = [n for n in range(self.config.num_nodes) if n != self.node_id]
-            self.state_transfer.request_missing(self.current_epoch, checkpoint_epoch, peers)
+            self.state_transfer.request_missing(
+                self.current_epoch, checkpoint_epoch, self._peer_nodes()
+            )
         elif (
             self._catchup_aggressive
             and checkpoint_epoch == self.current_epoch
@@ -679,9 +778,8 @@ class ISSNode:
             # checkpoint) but our log has holes we can no longer fill via
             # SB — the instances were garbage collected at the peers.
             # Force a transfer even if an earlier request is in flight.
-            peers = [n for n in range(self.config.num_nodes) if n != self.node_id]
             self.state_transfer.request_missing(
-                checkpoint_epoch, checkpoint_epoch, peers, force=True
+                checkpoint_epoch, checkpoint_epoch, self._peer_nodes(), force=True
             )
         elif (
             self.config.stalled_catchup_grace > 0
@@ -709,8 +807,7 @@ class ISSNode:
             return
         if self.checkpoints.stable_checkpoint(epoch) is None:
             return
-        peers = [n for n in range(self.config.num_nodes) if n != self.node_id]
-        self.state_transfer.request_missing(epoch, epoch, peers, force=True)
+        self.state_transfer.request_missing(epoch, epoch, self._peer_nodes(), force=True)
 
     # ======================================================= instance messages
     def _send_instance_message(self, dst: NodeId, instance_id: InstanceId, payload: object) -> None:

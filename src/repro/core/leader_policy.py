@@ -77,6 +77,19 @@ class LeaderSelectionPolicy(ABC):
         self.max_faulty = max_faulty
         self.all_nodes: List[NodeId] = list(range(num_nodes))
 
+    def set_membership(self, nodes: Sequence[NodeId], max_faulty: int) -> None:
+        """Adopt a new membership view (dynamic reconfiguration).
+
+        Called by the epoch manager before computing an epoch's leaderset
+        when the active replica set differs from genesis.  Deterministic at
+        every node because the view itself is derived from the committed
+        log.  Stateful policies override to initialise per-node state for
+        joining replicas.
+        """
+        self.all_nodes = sorted(nodes)
+        self.num_nodes = len(self.all_nodes)
+        self.max_faulty = max_faulty
+
     @abstractmethod
     def leaders(self, epoch: EpochNr, history: FailureHistory) -> List[NodeId]:
         """Leaderset for ``epoch`` given the failure history up to ``epoch``."""
@@ -150,6 +163,14 @@ class BackoffPolicy(LeaderSelectionPolicy):
     @property
     def name(self) -> str:
         return POLICY_BACKOFF
+
+    def set_membership(self, nodes: Sequence[NodeId], max_faulty: int) -> None:
+        super().set_membership(nodes, max_faulty)
+        # Joining replicas start unpenalised; leavers keep their counter in
+        # case they are re-added later (the ban history is log-derived and
+        # thus identical at every node either way).
+        for node in self.all_nodes:
+            self._penalty.setdefault(node, 0)
 
     def leaders(self, epoch: EpochNr, history: FailureHistory) -> List[NodeId]:
         allowed = sorted(node for node in self.all_nodes if self._penalty[node] <= 0)

@@ -33,12 +33,17 @@ class EpochManager:
         policy: Optional[LeaderSelectionPolicy] = None,
         layout: str = LAYOUT_ROUND_ROBIN,
         paranoid_checks: bool = True,
+        membership=None,
     ):
         self.config = config
         self.policy = policy if policy is not None else make_policy(config)
         self.layout = layout
         self.paranoid_checks = paranoid_checks
         self.history = FailureHistory()
+        #: Optional ``repro.core.membership.MembershipTracker``; when set,
+        #: leadersets and segments are computed from the epoch's committed
+        #: membership view instead of the static genesis configuration.
+        self.membership = membership
         #: Segment descriptors of every epoch started so far.
         self._segments: Dict[EpochNr, List[SegmentDescriptor]] = {}
         self._leaders: Dict[EpochNr, List[NodeId]] = {}
@@ -54,9 +59,15 @@ class EpochManager:
         """
         if epoch in self._leaders:
             return self._leaders[epoch]
+        if self.membership is not None:
+            view = self.membership.view_for(epoch)
+            self.policy.set_membership(view.nodes, view.max_faulty)
+            fallback = list(view.nodes)
+        else:
+            fallback = sorted(range(self.config.num_nodes))
         selected = self.policy.leaders(epoch, self.history)
         if not selected:
-            selected = sorted(range(self.config.num_nodes))
+            selected = fallback
         cap = self.config.max_leaders()
         if len(selected) > cap:
             start = (epoch * cap) % len(selected)
@@ -71,6 +82,9 @@ class EpochManager:
         if epoch in self._segments:
             return self._segments[epoch]
         leaders = self.leaders_for(epoch)
+        active_nodes = (
+            self.membership.view_for(epoch).nodes if self.membership is not None else None
+        )
         segments = build_segments(
             epoch=epoch,
             leaders=leaders,
@@ -78,6 +92,7 @@ class EpochManager:
             epoch_length=self.config.epoch_length,
             num_buckets=self.config.num_buckets,
             layout=self.layout,
+            active_nodes=active_nodes,
         )
         if self.paranoid_checks:
             validate_epoch_partition(
@@ -94,11 +109,20 @@ class EpochManager:
         """True when the log holds an entry for every position of ``epoch``."""
         return log.is_complete(epoch_seq_nrs(epoch, self.config.epoch_length))
 
-    def finish_epoch(self, epoch: EpochNr, log: Log) -> None:
-        """Fold the finished epoch into the failure history and the policy."""
+    def finish_epoch(self, epoch: EpochNr, log: Log):
+        """Fold the finished epoch into the failure history and the policy.
+
+        Under dynamic membership this also *seals* the epoch: its committed
+        ConfigTxs are folded into the next epoch's view.  Returns the
+        ``(added, removed)`` node tuples of that activation (both empty when
+        nothing changed), or ``None`` without a membership tracker.
+        """
         segments = self.segments_for(epoch)
         self.history.record_epoch(epoch, segments, log)
         self.policy.epoch_finished(epoch, self.history)
+        if self.membership is not None:
+            return self.membership.seal_epoch(epoch)
+        return None
 
     # ------------------------------------------------------------- reporting
     def proposal_interval(self, epoch: EpochNr) -> float:

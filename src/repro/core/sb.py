@@ -64,11 +64,17 @@ class SBContext:
         timeout_jitter_fn: Optional[Callable[[], float]] = None,
         note_view_change_fn: Optional[Callable[[], None]] = None,
         tracer=None,
+        membership=None,
     ):
         self.node_id = node_id
         self.config = config
         self.segment = segment
         self.all_nodes: List[NodeId] = list(all_nodes)
+        #: Membership view of the instance's epoch under dynamic
+        #: reconfiguration (``repro.core.membership.MembershipView``); None
+        #: means the genesis configuration, in which case the quorum
+        #: properties below fall back to the static config arithmetic.
+        self.membership = membership
         self._send = send_fn
         self._local = local_fn
         self._schedule = schedule_fn
@@ -102,18 +108,26 @@ class SBContext:
     # ------------------------------------------------------------ identity
     @property
     def num_nodes(self) -> int:
+        if self.membership is not None:
+            return self.membership.num_nodes
         return self.config.num_nodes
 
     @property
     def max_faulty(self) -> int:
+        if self.membership is not None:
+            return self.membership.max_faulty
         return self.config.max_faulty
 
     @property
     def strong_quorum(self) -> int:
+        if self.membership is not None:
+            return self.membership.strong_quorum
         return self.config.strong_quorum
 
     @property
     def weak_quorum(self) -> int:
+        if self.membership is not None:
+            return self.membership.weak_quorum
         return self.config.weak_quorum
 
     @property

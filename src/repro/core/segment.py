@@ -9,7 +9,7 @@ latency — an ablation benchmark compares both layouts.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .types import BucketId, EpochNr, NodeId, SegmentDescriptor, SeqNr
 from .buckets import assignment_for_epoch
@@ -79,20 +79,23 @@ def build_segments(
     epoch_length: int,
     num_buckets: int,
     layout: str = LAYOUT_ROUND_ROBIN,
+    active_nodes: Optional[Sequence[NodeId]] = None,
 ) -> List[SegmentDescriptor]:
     """Create the segment descriptors of one epoch (Algorithm 3, initEpoch).
 
     ``leaders`` is the epoch's leaderset in the order produced by the leader
     selection policy; the ``l``-th leader owns the ``l``-th interleave of the
     epoch's sequence numbers and the buckets computed by
-    :func:`repro.core.buckets.buckets_for_leader`.
+    :func:`repro.core.buckets.buckets_for_leader`.  ``active_nodes`` is the
+    epoch's membership under dynamic reconfiguration (defaults to the
+    genesis ``0..num_nodes-1``).
     """
     if not leaders:
         raise ValueError("an epoch needs at least one leader")
     if len(set(leaders)) != len(leaders):
         raise ValueError("leaders must be distinct")
     bucket_assignment: Dict[NodeId, List[BucketId]] = assignment_for_epoch(
-        epoch, leaders, num_nodes, num_buckets
+        epoch, leaders, num_nodes, num_buckets, active_nodes=active_nodes
     )
     segments: List[SegmentDescriptor] = []
     for index, leader in enumerate(leaders):

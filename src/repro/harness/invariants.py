@@ -117,6 +117,133 @@ def check_rejections_cover_forgeries(result) -> List[str]:
     return []
 
 
+def check_membership_views(result) -> List[str]:
+    """Dynamic-membership safety: every replica derives the same view
+    sequence from the committed log.
+
+    For each epoch two replicas have both sealed, their activated views
+    must hold the identical replica set — views are a deterministic
+    function of the ordered ConfigTxs, so divergence here means the
+    reconfiguration machinery forked the configuration.  The harness's
+    reported ``final_view`` must match what the freshest replica computed,
+    and quorum arithmetic must agree node-for-node (same view ⇒ same n,
+    f, strong and weak quorums — the "keyset consistency" the checkpoint
+    and SB layers rely on).  Static-configuration runs return clean.
+    """
+    membership = result.report.membership
+    if not membership:
+        return []
+    violations = []
+    trackers = [
+        (node, node.membership)
+        for node in result.nodes
+        if getattr(node, "membership", None) is not None
+    ]
+    sealed = [(n, t) for n, t in trackers if t.sealed_through >= 0]
+    if not sealed:
+        return []
+    ref_node, ref = max(sealed, key=lambda pair: pair[1].sealed_through)
+    for node, tracker in sealed:
+        if tracker is ref:
+            continue
+        limit = min(tracker.sealed_through, ref.sealed_through) + 1
+        for epoch in range(limit + 1):
+            mine = tracker.view_for(epoch)
+            theirs = ref.view_for(epoch)
+            if mine.nodes != theirs.nodes:
+                violations.append(
+                    f"node {node.node_id}: view for epoch {epoch} is "
+                    f"{list(mine.nodes)} but node {ref_node.node_id} "
+                    f"activated {list(theirs.nodes)}"
+                )
+                break
+            if (mine.strong_quorum, mine.weak_quorum, mine.max_faulty) != (
+                theirs.strong_quorum, theirs.weak_quorum, theirs.max_faulty
+            ):
+                violations.append(
+                    f"node {node.node_id}: quorum arithmetic for epoch "
+                    f"{epoch} disagrees with node {ref_node.node_id}"
+                )
+                break
+    final_view = membership.get("final_view")
+    if final_view is not None and list(ref.current_view().nodes) != list(final_view):
+        violations.append(
+            f"reported final view {list(final_view)} but node "
+            f"{ref_node.node_id} computed {list(ref.current_view().nodes)}"
+        )
+    return violations
+
+
+def check_removed_nodes_quiesced(result) -> List[str]:
+    """A replica removed from membership stops delivering at the boundary.
+
+    Each activation record names the epoch its view takes effect; a
+    removed replica seals the preceding epoch, retires, and must never
+    deliver a position of the new epoch — a delivery past the boundary
+    would be a node acting under a configuration it is no longer part of.
+    Replicas that were later re-added (rolling upgrade) are represented by
+    their new incarnation and are exempt; so are replicas that were
+    simply crashed (not retired) when the removal activated.
+    """
+    membership = result.report.membership
+    if not membership:
+        return []
+    violations = []
+    epoch_length = result.nodes[0].config.epoch_length
+    for record in membership.get("activations", ()):
+        boundary = record["epoch"] * epoch_length
+        for node_id in record.get("removed", ()):
+            if node_id >= len(result.nodes):
+                continue
+            node = result.nodes[node_id]
+            if not getattr(node, "retired", False):
+                continue
+            if node.log.first_undelivered > boundary:
+                violations.append(
+                    f"node {node_id}: removed effective epoch "
+                    f"{record['epoch']} but delivered through position "
+                    f"{node.log.first_undelivered} (> boundary {boundary})"
+                )
+    return violations
+
+
+def check_retired_prefix_identity(result) -> List[str]:
+    """Retired replicas' delivered prefixes stay on the agreed order.
+
+    :func:`check_prefix_identity` skips crashed nodes, and retirement
+    tears a replica down through the crash path — but unlike a crash, a
+    clean removal guarantees the full delivered prefix is valid.  So the
+    membership runs additionally pin every retired replica's trace to be
+    a prefix of the freshest live replica's.
+    """
+    if not result.report.membership:
+        return []
+    live = [node for node in result.nodes if not node.crashed]
+    retired = [node for node in result.nodes if getattr(node, "retired", False)]
+    if not live or not retired:
+        return []
+    reference = max(live, key=lambda node: node.log.first_undelivered)
+    ref_trace = delivered_trace(reference)
+    violations = []
+    for node in retired:
+        trace = delivered_trace(node)
+        if trace != ref_trace[: len(trace)]:
+            violations.append(
+                f"node {node.node_id}: retired with a delivered prefix that "
+                f"diverges from live node {reference.node_id}"
+            )
+    return violations
+
+
+def check_membership(result) -> List[str]:
+    """All dynamic-membership invariants (no-ops on static runs)."""
+    return (
+        check_membership_views(result)
+        + check_removed_nodes_quiesced(result)
+        + check_retired_prefix_identity(result)
+    )
+
+
 def check_invariants(result) -> List[str]:
     """All per-run safety checks over one DeploymentResult (empty = clean)."""
     return (
@@ -124,6 +251,7 @@ def check_invariants(result) -> List[str]:
         + check_no_double_delivery(result.nodes)
         + check_completed_within_submitted(result.report)
         + check_rejections_cover_forgeries(result)
+        + check_membership(result)
     )
 
 

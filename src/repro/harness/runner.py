@@ -36,6 +36,7 @@ from ..core.config import (
 )
 from ..core.iss import ISSNode
 from ..core.leader_policy import LeaderSelectionPolicy
+from ..core.membership import ACTION_REMOVE, ConfigTx, encode_config_tx
 from ..core.segment import LAYOUT_ROUND_ROBIN
 from ..core.validation import REJECTION_REASONS
 from ..crypto.signatures import KeyStore
@@ -49,10 +50,13 @@ from ..sim.chaos import DROP_CAUSES, LinkFaultSpec, PartitionSpec
 from ..sim.client_adversary import AbusiveClient
 from ..sim.faults import (
     BYZ_CENSOR,
+    MEMBER_ADD,
+    MEMBER_EVICT_DETECTED,
     ByzantineSpec,
     CrashSpec,
     FaultInjector,
     MaliciousClientSpec,
+    MembershipSpec,
     RestartSpec,
     StragglerSpec,
 )
@@ -122,6 +126,8 @@ class Deployment:
         malicious_client_specs: Sequence[MaliciousClientSpec] = (),
         partition_specs: Sequence[PartitionSpec] = (),
         link_fault_specs: Sequence[LinkFaultSpec] = (),
+        membership_specs: Sequence[MembershipSpec] = (),
+        membership_enabled: Optional[bool] = None,
         durable_storage: Optional[bool] = None,
         recovery_poll: Optional[float] = None,
         probe_stagger: Optional[float] = None,
@@ -142,6 +148,32 @@ class Deployment:
         self.malicious_client_specs = list(malicious_client_specs)
         self.partition_specs = list(partition_specs)
         self.link_fault_specs = list(link_fault_specs)
+        self.membership_specs = list(membership_specs)
+        # Membership machinery defaults on exactly when a reconfiguration is
+        # scheduled, so static deployments keep their (golden-traced)
+        # schedules bit-identical; tests that submit ConfigTxs by hand can
+        # force it on without scheduling any spec.
+        if membership_enabled is None:
+            membership_enabled = bool(self.membership_specs)
+        self.membership_enabled = membership_enabled
+        #: Node ids joining beyond the genesis set, in ascending order.
+        self._joining_ids = sorted(
+            {
+                spec.node
+                for spec in self.membership_specs
+                if spec.action == MEMBER_ADD and spec.node >= config.num_nodes
+            }
+        )
+        # The nodes list is indexed by node id everywhere, so brand-new ids
+        # must extend it contiguously from the genesis count.
+        expected = list(
+            range(config.num_nodes, config.num_nodes + len(self._joining_ids))
+        )
+        if self._joining_ids != expected:
+            raise ValueError(
+                f"joining node ids must be contiguous from {config.num_nodes}, "
+                f"got {self._joining_ids}"
+            )
         self.policy_factory = policy_factory
         self.node_class = node_class
         self.layout = layout
@@ -175,10 +207,19 @@ class Deployment:
         # objects have independent RNGs, so construction order changes no
         # schedule (golden traces pin this).
         self.latency = LatencyModel(self.network_config, config.num_nodes)
+        # Joining replicas get their datacenter placement up front (same
+        # deterministic rule as genesis nodes), so the sharded engine can
+        # assign their endpoints before the run starts.
+        if self._joining_ids:
+            self.latency.register_extra_nodes(self._joining_ids)
         #: Datacenter → shard map (empty on the single engine).
         self._shard_of_dc: Dict[int, int] = {}
         if self.engine == ENGINE_SHARDED:
             self.sim = self._build_sharded_sim()
+            for node in self._joining_ids:
+                self.sim.assign_endpoint(
+                    node, self._shard_of_dc[self.latency.datacenter_of(node)]
+                )
         else:
             self.sim = Simulator(seed=config.random_seed)
         self.network = Network(self.sim, self.network_config, self.latency)
@@ -210,6 +251,14 @@ class Deployment:
             self._register_probes(self.sampler)
 
         self.client_ids = list(range(self.workload.num_clients))
+        #: Admin pseudo-client identity submitting ConfigTxs (the id just
+        #: past the workload's clients); None in static deployments.  It is
+        #: part of ``client_ids`` so every node's validator and watermark
+        #: tracker knows it, but never part of the workload generator.
+        self.admin_client_id: Optional[int] = None
+        if self.membership_enabled:
+            self.admin_client_id = self.workload.num_clients
+            self.client_ids.append(self.admin_client_id)
         client_ids = self.client_ids
         self._stragglers_by_node: Dict[int, StragglerSpec] = {
             spec.node: spec for spec in self.straggler_specs
@@ -236,6 +285,23 @@ class Deployment:
         self._crash_times: Dict[int, float] = {}
         #: Recovery records of restarted nodes still catching up.
         self._pending_recoveries: List[Dict[str, float]] = []
+
+        # --- dynamic-membership runtime state (inert in static runs) ------
+        self.admin_client: Optional[Client] = None
+        #: Activation epochs already handled once deployment-wide (the
+        #: listener fires per node; joins/removals are processed on the
+        #: first firing only).
+        self._activated_epochs: set = set()
+        #: One record per view-changing activation (epoch, added, removed).
+        self._membership_activations: List[Dict[str, object]] = []
+        #: One record per booted joiner (time-to-join filled by the poll
+        #: watcher; -1 when the run ends first).
+        self._join_records: List[Dict[str, object]] = []
+        #: Nodes removed from membership (activated, not merely scheduled).
+        self._removed_nodes: set = set()
+        #: One record per detection-driven eviction submitted.
+        self._eviction_records: List[Dict[str, object]] = []
+        self._evictions_submitted: set = set()
 
         self.nodes: List[ISSNode] = [
             self._build_node(node_id) for node_id in range(config.num_nodes)
@@ -265,7 +331,7 @@ class Deployment:
                 )
             malicious_by_client[spec.client] = spec
         self.clients: List[Client] = []
-        for client_id in client_ids:
+        for client_id in range(self.workload.num_clients):
             common = dict(
                 client_id=client_id,
                 config=config,
@@ -282,13 +348,43 @@ class Deployment:
             else:
                 client = Client(**common)
             self.clients.append(client)
-        self.latency.register_extra_endpoints([c.endpoint for c in self.clients])
+        endpoint_clients = list(self.clients)
+        if self.membership_enabled:
+            # The admin client rides the ordinary request path (signed,
+            # bucketed, watermarked) but is driven by membership specs, not
+            # the workload generator, and reports no completions.
+            self.admin_client = Client(
+                client_id=self.admin_client_id,
+                config=config,
+                sim=self.sim,
+                network=self.network,
+                key_store=self.key_store,
+                tracer=self.tracer,
+            )
+            endpoint_clients.append(self.admin_client)
+        self.latency.register_extra_endpoints([c.endpoint for c in endpoint_clients])
         if self.engine == ENGINE_SHARDED:
-            for client in self.clients:
+            for client in endpoint_clients:
                 self.sim.assign_endpoint(
                     client.endpoint,
                     self._shard_of_dc[self.latency.datacenter_of(client.endpoint)],
                 )
+        # Scheduled last: a spec at time 0 fires immediately and needs the
+        # admin client (and every endpoint) in place.
+        if self.membership_specs:
+            self.injector.on_membership_change = self._on_membership_change_spec
+            self.injector.schedule_memberships(self.membership_specs)
+            for spec in self.membership_specs:
+                if spec.action != MEMBER_EVICT_DETECTED:
+                    continue
+                if spec.time <= self.sim.now:
+                    self.sim.schedule(
+                        self.recovery_poll, lambda s=spec: self._poll_eviction(s)
+                    )
+                else:
+                    self.sim.schedule_at(
+                        spec.time, lambda s=spec: self._poll_eviction(s)
+                    )
 
         self.generator = WorkloadGenerator(
             clients=self.clients,
@@ -348,7 +444,7 @@ class Deployment:
         one — is shared across incarnations; everything else is fresh.
         """
         policy = self.policy_factory(self.config) if self.policy_factory else None
-        return self.node_class(
+        node = self.node_class(
             node_id=node_id,
             config=self.config,
             sim=self.sim,
@@ -364,7 +460,11 @@ class Deployment:
             storage=self.storages.get(node_id),
             probe_stagger=self.probe_stagger,
             tracer=self.tracer,
+            membership_enabled=self.membership_enabled,
         )
+        if self.membership_enabled:
+            node.membership_listener = self._on_membership_activation
+        return node
 
     def _register_probes(self, sampler: MetricsSampler) -> None:
         """Install the standard per-node and cluster time-series probes.
@@ -550,6 +650,202 @@ class Deployment:
             self.recovery_poll, lambda: self._poll_reconverge(still_behind, record)
         )
 
+    # ----------------------------------------------------- dynamic membership
+    def _on_membership_change_spec(self, spec: MembershipSpec) -> None:
+        """A scheduled add/remove fired: submit its ConfigTx.
+
+        The ConfigTx rides the ordinary client path — signed by the admin
+        client, validated and bucketed by the nodes, ordered in the log —
+        and activates at the epoch boundary after the epoch that commits it.
+        """
+        self._submit_config_tx(ConfigTx(action=spec.action, node=spec.node))
+
+    def _submit_config_tx(self, tx: ConfigTx) -> None:
+        self.admin_client.submit(encode_config_tx(tx))
+
+    def _on_membership_activation(
+        self, node_id: int, epoch: int, view, added, removed
+    ) -> None:
+        """A node activated a committed membership change (node hook).
+
+        Every node fires this as it seals the epoch; the deployment reacts
+        once per activation epoch, on the first firing: boot joining
+        replicas (they must be reachable before the activated nodes start
+        broadcasting to the new view) and record removals.  Removed nodes
+        quiesce themselves (:meth:`~repro.core.iss.ISSNode.retire`) when
+        *they* reach the activation — their network endpoint stays
+        registered so stragglers' messages are absorbed, not counted as
+        drops.
+        """
+        if epoch in self._activated_epochs:
+            return
+        self._activated_epochs.add(epoch)
+        self._membership_activations.append(
+            {
+                "epoch": int(epoch),
+                "activated_at": self.sim.now,
+                "added": [int(n) for n in added],
+                "removed": [int(n) for n in removed],
+                "view": [int(n) for n in view.nodes],
+            }
+        )
+        for joiner in added:
+            self._boot_joiner(joiner, epoch)
+        for node in removed:
+            self._removed_nodes.add(int(node))
+
+    def _boot_joiner(self, node_id: int, epoch: int) -> None:
+        """Bring a replica added at ``epoch`` into the running cluster.
+
+        A brand-new id boots disklessly: fresh node, epoch 0, open-ended
+        state-transfer catch-up (snapshot apply via the peers' stable
+        checkpoints, then the log tail) — the restart path's machinery
+        reused wholesale.  A re-added id (rolling upgrade) recovers from
+        its durable storage first, exactly like a restart, so WAL replay
+        reconstructs its membership views along with its log.
+        """
+        if self.durable_storage and node_id not in self.storages:
+            self.storages[node_id] = NodeStorage(node_id)
+        joined_at = self.sim.now
+        rejoining = node_id < len(self.nodes)
+        if rejoining:
+            old = self.nodes[node_id]
+            if not old.crashed:
+                # Forcibly quiesce a lagging previous incarnation that has
+                # not yet activated its own removal.
+                old.retire()
+        node = self._build_node(node_id)
+        node.join_epoch = epoch
+        storage = self.storages.get(node_id)
+        if storage is not None and (
+            storage.latest_snapshot() is not None or len(storage.wal)
+        ):
+            info = RecoveryManager(storage, tracer=self.tracer).recover(
+                node, now=joined_at
+            )
+        else:
+            info = RecoveryInfo(node_id=node_id, resume_epoch=0)
+        if rejoining:
+            self.nodes[node_id] = node
+        else:
+            self.nodes.append(node)
+        node.start_at(info.resume_epoch)
+        node.begin_recovery_catchup()
+        peers = [n for n in self.nodes if n is not node and not n.crashed]
+        record = {
+            "node": int(node_id),
+            "activation_epoch": int(epoch),
+            "joined_at": joined_at,
+            "rejoined": rejoining,
+            #: Cluster frontier at boot — the log size the joiner must
+            #: transfer (time-to-join vs log size is the bench figure).
+            "log_size_at_join": float(
+                max((p.log.first_undelivered for p in peers), default=0)
+            ),
+            "time_to_join": -1.0,
+            "state_transfer_bytes": 0.0,
+            "state_transfer_entries": 0.0,
+        }
+        self._join_records.append(record)
+        self.sim.schedule(self.recovery_poll, lambda: self._poll_join(node, record))
+
+    def _poll_join(self, node: ISSNode, record: Dict[str, object]) -> None:
+        """Periodic check whether a joiner reached the cluster frontier.
+
+        Same contract as :meth:`_poll_catchup`: bound to the exact
+        incarnation it was started for; the record keeps ``time_to_join``
+        = -1 when that incarnation dies or the run ends first.
+        """
+        if node.crashed or self.nodes[node.node_id] is not node:
+            return
+        if self._caught_up(node):
+            record["time_to_join"] = self.sim.now - float(record["joined_at"])
+            record["state_transfer_bytes"] = float(node.state_transfer.bytes_received)
+            record["state_transfer_entries"] = float(node.state_transfer.entries_applied)
+            node.end_recovery_catchup()
+            return
+        self.sim.schedule(self.recovery_poll, lambda: self._poll_join(node, record))
+
+    def _poll_eviction(self, spec: MembershipSpec) -> None:
+        """Detection watch of an ``evict-detected`` spec.
+
+        Polls until some correct node's failure history implicates the
+        suspect (its segment failed an epoch — the observable footprint of
+        equivocation, censorship, or invalid votes once a view change
+        fills its slots with ⊥), then submits one remove ConfigTx.  This
+        closes the detection loop: a Byzantine replica is evicted *from
+        membership*, not just excluded from leader sets.
+        """
+        if spec.node in self._evictions_submitted:
+            return
+        if self._eviction_detected(spec.node):
+            self._evictions_submitted.add(spec.node)
+            self._eviction_records.append(
+                {"node": int(spec.node), "detected_at": self.sim.now}
+            )
+            self._submit_config_tx(ConfigTx(action=ACTION_REMOVE, node=spec.node))
+            return
+        self.sim.schedule(self.recovery_poll, lambda: self._poll_eviction(spec))
+
+    def _eviction_detected(self, target: int) -> bool:
+        """Has any live correct node recorded ``target`` as a failed leader?"""
+        return any(
+            node.manager.history.last_failure(target) >= 0
+            for node in self.nodes
+            if node.node_id != target and not node.crashed
+        )
+
+    def _membership_stats(self) -> Optional[Dict[str, object]]:
+        """Reconfiguration diagnostics for membership runs (else None).
+
+        ``activations`` carries one record per view-changing epoch
+        boundary, ``joins`` one per booted replica (time-to-join,
+        state-transfer figures, log size at boot), ``removed`` the
+        activated removals, ``evictions`` the detection-driven ones, and
+        ``config_txs_committed``/``final_view`` come from a live node's
+        membership tracker — the committed-log-derived ground truth.
+        """
+        if not self.membership_enabled:
+            return None
+        sample = next(
+            (
+                n
+                for n in self.nodes
+                if not n.crashed and getattr(n, "membership", None) is not None
+            ),
+            None,
+        )
+        if sample is None:
+            sample = next(
+                (n for n in self.nodes if getattr(n, "membership", None) is not None),
+                None,
+            )
+        tracker = sample.membership if sample is not None else None
+        return {
+            "specs": [
+                {"node": spec.node, "action": spec.action, "time": spec.time}
+                for spec in self.membership_specs
+            ],
+            "activations": [dict(r) for r in self._membership_activations],
+            "joins": [dict(r) for r in self._join_records],
+            "removed": sorted(self._removed_nodes),
+            "evictions": [dict(r) for r in self._eviction_records],
+            "config_txs_committed": [
+                {"epoch": int(e), "action": tx.action, "node": int(tx.node)}
+                for e, tx in (tracker.committed_txs if tracker is not None else [])
+            ],
+            "final_view": (
+                [int(n) for n in tracker.current_view().nodes]
+                if tracker is not None
+                else []
+            ),
+            "admin_submitted": (
+                self.admin_client.requests_submitted
+                if self.admin_client is not None
+                else 0
+            ),
+        }
+
     def _behind_frontier(self, node: ISSNode) -> bool:
         """Is the node behind the *most advanced* live peer?
 
@@ -612,6 +908,7 @@ class Deployment:
             byzantine=self._byzantine_stats(),
             client_abuse=self._client_abuse_stats(),
             partitions=self._partition_stats(),
+            membership=self._membership_stats(),
             engine=self.engine,
         )
         if self.sampler is not None:
@@ -795,6 +1092,16 @@ class Deployment:
         if self.config.client_retry_timeout > 0:
             stats["client_retries_total"] = float(
                 sum(c.requests_retried for c in self.clients)
+            )
+        if self.membership_enabled:
+            stats["membership_activations"] = float(len(self._membership_activations))
+            stats["config_txs_submitted"] = float(
+                self.admin_client.requests_submitted
+                if self.admin_client is not None
+                else 0
+            )
+            stats["nodes_retired"] = float(
+                sum(1 for n in self.nodes if getattr(n, "retired", False))
             )
         if self.storages:
             stats["wal_appended_total"] = float(

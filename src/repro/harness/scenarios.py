@@ -51,6 +51,7 @@ from ..sim.faults import (
     StragglerSpec,
 )
 from ..sim.chaos import LinkFaultSpec, PartitionSpec
+from ..sim.faults import MembershipSpec
 from ..workload.faults import (
     abusive_clients,
     bridge_partition,
@@ -58,11 +59,16 @@ from ..workload.faults import (
     censorship_targets,
     epoch_end_crashes,
     epoch_start_crashes,
+    eviction_watch,
     flapping_links,
+    membership_additions,
+    membership_removals,
     minority_partition,
     one_way_blocks,
+    rolling_upgrade_specs,
     stragglers,
 )
+from .invariants import check_invariants
 from .runner import Deployment
 
 
@@ -1478,3 +1484,328 @@ def epoch_length_ablation(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Dynamic membership — reconfiguration at epoch boundaries
+# ---------------------------------------------------------------------------
+
+#: Epoch length for the membership scenarios.  Reconfigurations activate at
+#: epoch boundaries, so shorter epochs make joins/removals land (and the
+#: scenarios finish) sooner without changing what is being proven.
+#: Override with ``REPRO_MEMBERSHIP_EPOCH_LENGTH``.
+DEFAULT_MEMBERSHIP_EPOCH_LENGTH = 16
+
+#: Spacing between a rolling upgrade's remove and re-add (and between
+#: per-node cycles).  Must exceed the epoch duration at the scenario's
+#: request rate, or both ConfigTxs commit in one epoch and cancel out.
+#: Override with ``REPRO_MEMBERSHIP_PERIOD``.
+DEFAULT_MEMBERSHIP_PERIOD = 6.0
+
+
+def membership_epoch_length() -> int:
+    """Epoch length for membership scenarios (REPRO_MEMBERSHIP_EPOCH_LENGTH).
+
+    Non-positive or unparseable values fall back to
+    :data:`DEFAULT_MEMBERSHIP_EPOCH_LENGTH`.
+    """
+    try:
+        length = int(os.environ.get(
+            "REPRO_MEMBERSHIP_EPOCH_LENGTH", DEFAULT_MEMBERSHIP_EPOCH_LENGTH
+        ))
+    except ValueError:
+        return DEFAULT_MEMBERSHIP_EPOCH_LENGTH
+    return length if length > 0 else DEFAULT_MEMBERSHIP_EPOCH_LENGTH
+
+
+def membership_period() -> float:
+    """Rolling-upgrade cycle spacing in seconds (REPRO_MEMBERSHIP_PERIOD).
+
+    Non-positive or unparseable values fall back to
+    :data:`DEFAULT_MEMBERSHIP_PERIOD`.
+    """
+    try:
+        period = float(
+            os.environ.get("REPRO_MEMBERSHIP_PERIOD", DEFAULT_MEMBERSHIP_PERIOD)
+        )
+    except ValueError:
+        return DEFAULT_MEMBERSHIP_PERIOD
+    return period if period > 0 else DEFAULT_MEMBERSHIP_PERIOD
+
+
+def membership_config(protocol: str, num_nodes: int, **overrides) -> ISSConfig:
+    """Scenario configuration for dynamic-membership runs.
+
+    :func:`chaos_config`'s graceful degradation (client responses, the
+    retry loop, jittered timers, stalled-epoch catch-up) plus the shorter
+    membership epoch: clients ride out a reconfiguration the same way they
+    ride out a partition, which is what lets the scenarios gate on 100 %
+    correct-client completion *through* joins, removals and upgrades.
+    """
+    defaults = dict(epoch_length=membership_epoch_length())
+    defaults.update(overrides)
+    return chaos_config(protocol, num_nodes, **defaults)
+
+
+def _membership_row(result) -> Dict[str, object]:
+    """Figures every membership scenario reports, from one finished run."""
+    report = result.report
+    membership = report.membership
+    live = [node for node in result.nodes if not node.crashed]
+    joins = membership.get("joins", [])
+    return {
+        "throughput": report.throughput,
+        "latency_mean": report.latency.mean,
+        "latency_p95": report.latency.p95,
+        "submitted": sum(c.requests_submitted for c in result.clients),
+        "completed": sum(c.requests_completed for c in result.clients),
+        "all_complete": all(
+            c.requests_completed == c.requests_submitted for c in result.clients
+        ),
+        "prefixes_identical": prefixes_identical(live),
+        "violations": check_invariants(result),
+        "activations": membership.get("activations", []),
+        "final_view": membership.get("final_view", []),
+        "joins": joins,
+        "all_joined": all(j["time_to_join"] >= 0.0 for j in joins),
+        "time_to_join_max": max((j["time_to_join"] for j in joins), default=0.0),
+        "removed": membership.get("removed", []),
+        "evictions": membership.get("evictions", []),
+        "config_txs_committed": len(membership.get("config_txs_committed", [])),
+    }
+
+
+def run_membership_point(
+    protocol: str,
+    num_nodes: int = 4,
+    membership_specs: Sequence[MembershipSpec] = (),
+    rate: float = 400.0,
+    duration: float = 20.0,
+    num_clients: int = 8,
+    seed: int = 42,
+    drain_time: float = 12.0,
+    byzantine_specs=(),
+    malicious_client_specs=(),
+    **config_overrides,
+):
+    """One run under a membership-change schedule (shared harness of every
+    dynamic-membership scenario); returns ``(result, row)`` so callers can
+    inspect nodes/clients beyond the row's figures.
+
+    ``drain_time`` gives in-flight joins and the retry loop room to finish
+    after the workload stops — 100 % completion *through* reconfiguration
+    is what the scenarios assert.
+    """
+    config = membership_config(
+        protocol, num_nodes, random_seed=seed, **config_overrides
+    )
+    deployment = Deployment(
+        config,
+        network_config=scaled_network(),
+        workload=_workload(rate, duration, clients=num_clients),
+        membership_specs=membership_specs,
+        byzantine_specs=byzantine_specs,
+        malicious_client_specs=malicious_client_specs,
+        drain_time=drain_time,
+    )
+    result = deployment.run()
+    row = _membership_row(result)
+    row["protocol"] = protocol
+    row["nodes"] = num_nodes
+    return result, row
+
+
+def membership_point(protocol: str, num_nodes: int = 4, **kwargs) -> Dict[str, object]:
+    """Row-only wrapper over :func:`run_membership_point`."""
+    _, row = run_membership_point(protocol, num_nodes, **kwargs)
+    return row
+
+
+def membership_join(
+    protocol: str = PROTOCOL_PBFT,
+    num_nodes: int = 4,
+    joiners: int = 1,
+    join_time: float = 3.0,
+    rate: float = 400.0,
+    duration: float = 20.0,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Grow the cluster by ``joiners`` replicas mid-run.
+
+    Each add-ConfigTx is ordered like any client request and activates at
+    the next epoch boundary; the new replica boots empty, state-transfers
+    the committed prefix and joins ordering.  The row's ``all_joined`` /
+    ``time_to_join_max`` are the figures of merit; the quorum sizes grow
+    with the view (n → n + joiners) with no interruption to ordering.
+    """
+    specs = membership_additions(joiners, num_nodes, start=join_time)
+    row = membership_point(
+        protocol, num_nodes, membership_specs=specs, rate=rate,
+        duration=duration, seed=seed,
+    )
+    row["scenario"] = "membership_join"
+    row["joiners"] = joiners
+    return row
+
+
+def membership_leave(
+    protocol: str = PROTOCOL_PBFT,
+    num_nodes: int = 5,
+    leavers: int = 1,
+    leave_time: float = 3.0,
+    rate: float = 400.0,
+    duration: float = 20.0,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Shrink the cluster by ``leavers`` replicas mid-run.
+
+    Victims are the highest-numbered nodes (node 0 stays inspectable).
+    The remove-ConfigTx commits in some epoch *e*, the view without the
+    victim takes effect at epoch *e+1*, and the victim retires itself
+    after sealing *e* — its delivered prefix ends exactly at the epoch
+    boundary, which :func:`~repro.harness.invariants.check_membership`
+    verifies.
+    """
+    victims = [num_nodes - 1 - i for i in range(leavers)]
+    if len(victims) >= num_nodes:
+        raise ValueError("cannot remove every node")
+    specs = membership_removals(victims, start=leave_time)
+    row = membership_point(
+        protocol, num_nodes, membership_specs=specs, rate=rate,
+        duration=duration, seed=seed,
+    )
+    row["scenario"] = "membership_leave"
+    row["leavers"] = leavers
+    return row
+
+
+def rolling_upgrade(
+    protocol: str = PROTOCOL_PBFT,
+    num_nodes: int = 4,
+    period: Optional[float] = None,
+    rate: float = 300.0,
+    seed: int = 42,
+    tail: float = 6.0,
+) -> Dict[str, object]:
+    """Upgrade every replica in turn: remove it, then re-add it one
+    ``period`` later — the paper's reconfiguration story applied n times.
+
+    One node is out at a time, so the remaining replicas keep a strong
+    quorum and ordering never stops; each re-added node recovers via
+    snapshot + WAL replay + state transfer like a restarted replica.  The
+    run's duration is derived from the schedule so the last re-add has an
+    epoch boundary plus catch-up time to land.  Row fields of merit:
+    ``upgraded`` (how many replicas completed the remove+re-add cycle),
+    ``all_complete`` and ``prefixes_identical`` (the acceptance gate),
+    and ``final_view`` (back to the genesis set).
+    """
+    if period is None:
+        period = membership_period()
+    specs = rolling_upgrade_specs(num_nodes, start=3.0, period=period)
+    duration = 3.0 + 2 * period * num_nodes + tail
+    row = membership_point(
+        protocol, num_nodes, membership_specs=specs, rate=rate,
+        duration=duration, seed=seed, drain_time=15.0,
+    )
+    row["scenario"] = "rolling_upgrade"
+    row["period"] = period
+    row["upgraded"] = sum(
+        1
+        for j in row["joins"]
+        if j.get("rejoined") and j["time_to_join"] >= 0.0
+    )
+    row["upgrade_complete"] = (
+        row["upgraded"] == num_nodes
+        and sorted(row["final_view"]) == list(range(num_nodes))
+    )
+    return row
+
+
+def byzantine_eviction(
+    protocol: str = PROTOCOL_PBFT,
+    behaviour: str = BYZ_EQUIVOCATE,
+    num_nodes: int = 4,
+    rate: float = 400.0,
+    duration: float = 25.0,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Close the detection loop: a Byzantine replica is evicted *from
+    membership*, not just blacklisted from the leaderset.
+
+    The adversary (highest-numbered node) misbehaves, its segment's view
+    change fills the slots with ⊥ and records it in the shared failure
+    history; the harness's eviction watch then submits a remove-ConfigTx,
+    and the next epoch boundary activates a view without it.  The
+    blacklist policy kept it out of the *leaderset* within epochs; the
+    membership eviction removes it from quorums and checkpoints too.
+    """
+    adversary = num_nodes - 1
+    byz = byzantine_leaders(1, num_nodes, behaviour=behaviour)
+    specs = eviction_watch([adversary])
+    result, row = run_membership_point(
+        protocol, num_nodes, membership_specs=specs, byzantine_specs=byz,
+        rate=rate, duration=duration, seed=seed,
+    )
+    row["prefixes_identical"] = prefixes_identical(
+        [node for node in correct_nodes(result, byz) if not node.crashed]
+    )
+    row["scenario"] = "byzantine_eviction"
+    row["behaviour"] = behaviour
+    row["adversary"] = adversary
+    row["evicted_from_membership"] = (
+        adversary in row["removed"] and adversary not in row["final_view"]
+    )
+    row["detection_time"] = max(
+        (e["detected_at"] for e in row["evictions"]), default=-1.0
+    )
+    return row
+
+
+def combined_adversary(
+    protocol: str = PROTOCOL_PBFT,
+    num_nodes: int = 4,
+    num_abusive: int = 1,
+    client_behaviour: str = CLIENT_DUPLICATE_FLOOD,
+    byz_behaviour: str = BYZ_EQUIVOCATE,
+    num_clients: int = 8,
+    rate: float = 400.0,
+    duration: float = 25.0,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Abusive clients and a Byzantine replica in one run.
+
+    The regression the membership battery pins: client-side defences
+    (watermarks, duplicate absorption) and replica-side eviction must
+    compose — the Byzantine replica ends up evicted from membership while
+    every *correct* client's requests still complete.
+    """
+    adversary = num_nodes - 1
+    byz = byzantine_leaders(1, num_nodes, behaviour=byz_behaviour)
+    client_specs = abusive_clients(
+        num_abusive, num_clients, behaviour=client_behaviour
+    )
+    result, row = run_membership_point(
+        protocol, num_nodes,
+        membership_specs=eviction_watch([adversary]),
+        byzantine_specs=byz,
+        malicious_client_specs=client_specs,
+        rate=rate, duration=duration, num_clients=num_clients, seed=seed,
+    )
+    abusive_ids = {spec.client for spec in client_specs}
+    correct_clients = [c for c in result.clients if c.client_id not in abusive_ids]
+    correct = correct_nodes(result, byz)
+    row["scenario"] = "combined_adversary"
+    row["client_behaviour"] = client_behaviour
+    row["byz_behaviour"] = byz_behaviour
+    row["correct_submitted"] = sum(c.requests_submitted for c in correct_clients)
+    row["correct_completed"] = sum(c.requests_completed for c in correct_clients)
+    row["correct_all_complete"] = all(
+        c.requests_completed == c.requests_submitted for c in correct_clients
+    )
+    row["prefixes_identical"] = prefixes_identical(
+        [node for node in correct if not node.crashed]
+    )
+    row["evicted_from_membership"] = (
+        adversary in row["removed"] and adversary not in row["final_view"]
+    )
+    return row

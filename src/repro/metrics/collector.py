@@ -98,6 +98,15 @@ class RunReport:
     #: drop cause → payload count, ``link_faults`` carries per-link runtime
     #: counters, ``client_retries_total`` sums the clients' retry loops.
     partitions: Dict[str, object] = field(default_factory=dict)
+    #: Dynamic-membership diagnostics, empty for static-configuration runs:
+    #: ``activations`` lists one record per view-changing epoch boundary
+    #: (epoch, added, removed, resulting view), ``joins`` one record per
+    #: booted replica (time_to_join, log_size_at_join, state-transfer
+    #: figures), ``removed``/``evictions`` the activated and
+    #: detection-driven removals, ``config_txs_committed`` the ordered
+    #: ConfigTxs as derived from the committed log, and ``final_view`` the
+    #: replica set after the last activation.
+    membership: Dict[str, object] = field(default_factory=dict)
     #: Per-node/cluster time series sampled by ``repro.obs.MetricsSampler``
     #: (``{"interval", "warmup", "times", "series"}``); empty unless the
     #: run enabled the observability sampler.
@@ -216,6 +225,7 @@ class MetricsCollector:
         byzantine: Optional[Dict[str, object]] = None,
         client_abuse: Optional[Dict[str, object]] = None,
         partitions: Optional[Dict[str, object]] = None,
+        membership: Optional[Dict[str, object]] = None,
         engine: str = "single",
     ) -> RunReport:
         """Summarise the run; ``byzantine`` carries the harness's per-node
@@ -223,7 +233,9 @@ class MetricsCollector:
         censored-bucket figures, ``client_abuse`` the per-client abuse
         counters of runs with malicious clients, ``partitions`` the
         network-chaos diagnostics of runs with partitions or link faults,
-        ``engine`` names the simulator engine that produced the run."""
+        ``membership`` the reconfiguration diagnostics of runs with
+        dynamic membership, ``engine`` names the simulator engine that
+        produced the run."""
         measured = max(1e-9, duration - self.warmup)
         completed = len(self._latencies)
         byz: Dict[str, object] = dict(byzantine or {})
@@ -246,4 +258,5 @@ class MetricsCollector:
             byzantine=byz,
             client_abuse=dict(client_abuse or {}),
             partitions=dict(partitions or {}),
+            membership=dict(membership or {}),
         )

@@ -67,6 +67,7 @@ EVT_CHECKPOINT = "checkpoint"
 EVT_DROP = "drop"
 EVT_RETRANSMIT = "retransmit"
 EVT_RECOVERY = "recovery"
+EVT_MEMBERSHIP = "membership"
 
 
 class RequestTracer:
@@ -191,3 +192,8 @@ class RequestTracer:
     def on_recovery(self, time: float, node: int, phase: str, count: int) -> None:
         """A recovery phase (snapshot/wal/fast-forward/redeliver) finished."""
         self.events.append((EVT_RECOVERY, time, node, phase, count))
+
+    # --------------------------------------------------------- membership
+    def on_membership(self, time: float, node: int, epoch: int, added, removed) -> None:
+        """A node activated a committed membership change for ``epoch``."""
+        self.events.append((EVT_MEMBERSHIP, time, node, epoch, (added, removed)))

@@ -87,6 +87,13 @@ MALICIOUS_CLIENT_BEHAVIOURS = (
     CLIENT_FORGED_SIGNATURE,
 )
 
+#: Membership-change actions (see :class:`MembershipSpec`).
+MEMBER_ADD = "add"
+MEMBER_REMOVE = "remove"
+MEMBER_EVICT_DETECTED = "evict-detected"
+
+MEMBERSHIP_ACTIONS = (MEMBER_ADD, MEMBER_REMOVE, MEMBER_EVICT_DETECTED)
+
 
 @dataclass(frozen=True)
 class CrashSpec:
@@ -240,6 +247,45 @@ class MaliciousClientSpec:
             raise ValueError("jump must be >= 1")
 
 
+@dataclass(frozen=True)
+class MembershipSpec:
+    """One scheduled membership change (dynamic reconfiguration).
+
+    ``action`` selects the change:
+
+    * ``"add"`` — at virtual time ``time`` the deployment's admin client
+      submits a ConfigTx adding replica ``node``; once the transaction
+      commits and its epoch seals, the new replica boots and catches up
+      via snapshot apply → WAL replay → state transfer (the same path a
+      restarted node takes).
+    * ``"remove"`` — ditto for removing ``node``; the replica is quiesced
+      at the activation boundary (its in-flight SB instances have all
+      delivered by then — epochs finish strictly sequentially).
+    * ``"evict-detected"`` — Byzantine-eviction wiring: from ``time`` on,
+      the harness watches the (log-derived, hence identical-at-all-nodes)
+      failure history, and as soon as replica ``node`` is implicated it
+      submits the removal ConfigTx.  Pairs with a :class:`ByzantineSpec`
+      for the same node to close the detect→evict loop.
+
+    A rolling upgrade of the whole cluster is just ``remove`` + ``add``
+    per node, staggered in time.
+    """
+
+    node: NodeId
+    action: str = MEMBER_ADD
+    #: Submission time of the ConfigTx (``"evict-detected"``: time from
+    #: which the detection watch is armed).
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in MEMBERSHIP_ACTIONS:
+            raise ValueError(f"unknown membership action {self.action!r}")
+        if self.node < 0:
+            raise ValueError("membership node ids are non-negative")
+        if self.time < 0:
+            raise ValueError("membership times are non-negative")
+
+
 class FaultInjector:
     """Applies :class:`CrashSpec` schedules to a running deployment.
 
@@ -286,6 +332,12 @@ class FaultInjector:
         self.on_partition_heal: Optional[
             Callable[[PartitionSpec, Dict[str, object]], None]
         ] = None
+        self._membership_specs: List[MembershipSpec] = []
+        #: Called when a scheduled add/remove falls due: ``fn(spec)``.  The
+        #: harness submits the ConfigTx through its admin client here (the
+        #: injector owns timing, the harness owns client construction —
+        #: the same split as for abusive clients).
+        self.on_membership_change: Optional[Callable[[MembershipSpec], None]] = None
 
     # ------------------------------------------------------------- schedule
     def schedule(self, spec: CrashSpec) -> None:
@@ -364,6 +416,36 @@ class FaultInjector:
             client.activate_abuse()
         else:
             self.sim.schedule_at(start, client.activate_abuse)
+
+    # ----------------------------------------------------------- membership
+    def schedule_membership(self, spec: MembershipSpec) -> None:
+        """Arm one :class:`MembershipSpec`.
+
+        ``add``/``remove`` fire :attr:`on_membership_change` at the spec's
+        time (immediately when that time already passed); the harness then
+        submits the ConfigTx through its admin client.  ``evict-detected``
+        specs are recorded only — the harness drives the detection watch
+        through its epoch hooks.
+        """
+        self._membership_specs.append(spec)
+        if spec.action == MEMBER_EVICT_DETECTED:
+            return
+
+        def fire() -> None:
+            if self.on_membership_change is not None:
+                self.on_membership_change(spec)
+
+        if spec.time <= self.sim.now:
+            fire()
+        else:
+            self.sim.schedule_at(spec.time, fire)
+
+    def schedule_memberships(self, specs: Sequence["MembershipSpec"]) -> None:
+        for spec in specs:
+            self.schedule_membership(spec)
+
+    def membership_specs(self) -> Sequence["MembershipSpec"]:
+        return tuple(self._membership_specs)
 
     # ------------------------------------------------------- network chaos
     def schedule_partition(self, spec: PartitionSpec) -> None:

@@ -125,3 +125,12 @@ class LatencyModel:
                 self.placement[endpoint] = (
                     self._rng.randrange(self.config.num_datacenters)
                 )
+
+    def register_extra_nodes(self, nodes: Sequence[NodeId]) -> None:
+        """Place replica endpoints beyond the genesis set (dynamic-membership
+        joiners) with the same deterministic round-robin rule genesis nodes
+        use — no RNG draw, so scheduling a join cannot perturb the placement
+        of anything registered after it."""
+        for node in nodes:
+            if node not in self.placement:
+                self.placement[node] = node % self.config.num_datacenters

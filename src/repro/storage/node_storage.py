@@ -50,6 +50,11 @@ class NodeStorage:
         self.wal.append_checkpoint(certificate)
         self._compact(certificate)
 
+    def record_membership(self, epoch: EpochNr, members: Tuple[NodeId, ...]) -> None:
+        """Persist an activated membership view (audit trail; see
+        :meth:`~repro.storage.wal.WriteAheadLog.append_membership`)."""
+        self.wal.append_membership(epoch, members)
+
     # ------------------------------------------------------------ compaction
     def _compact(self, certificate: CheckpointCertificate) -> None:
         """Fold everything at or below ``certificate.last_sn`` into a snapshot.

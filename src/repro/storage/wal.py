@@ -30,6 +30,7 @@ from ..core.types import CheckpointCertificate, EpochNr, LogEntry, SeqNr
 RECORD_COMMIT = "commit"
 RECORD_CHECKPOINT = "checkpoint"
 RECORD_EPOCH_START = "epoch-start"
+RECORD_MEMBERSHIP = "membership"
 
 
 @dataclass(frozen=True)
@@ -37,8 +38,9 @@ class WalRecord:
     """One append-only WAL record.
 
     ``kind`` selects which fields are meaningful: a ``commit`` carries
-    ``(sn, entry, epoch)``, a ``checkpoint`` carries ``certificate``, and
-    an ``epoch-start`` carries only ``epoch``.
+    ``(sn, entry, epoch)``, a ``checkpoint`` carries ``certificate``, an
+    ``epoch-start`` carries only ``epoch``, and a ``membership`` carries
+    the activated replica set in ``members`` (effective from ``epoch``).
     """
 
     kind: str
@@ -46,6 +48,7 @@ class WalRecord:
     sn: SeqNr = -1
     entry: LogEntry = None
     certificate: Optional[CheckpointCertificate] = None
+    members: Optional[Tuple[int, ...]] = None
 
 
 class WriteAheadLog:
@@ -80,6 +83,19 @@ class WriteAheadLog:
     def append_epoch_start(self, epoch: EpochNr) -> None:
         """Persist the fact that the node entered ``epoch``."""
         self._append(WalRecord(kind=RECORD_EPOCH_START, epoch=epoch))
+
+    def append_membership(self, epoch: EpochNr, members: Tuple[int, ...]) -> None:
+        """Persist an activated membership view (effective from ``epoch``).
+
+        Strictly an audit record: membership is always *derived* from the
+        committed ConfigTxs in the replayed log, so recovery never needs to
+        read these back — but an operator inspecting a WAL (or a future
+        binary-codec export) sees every reconfiguration inline with the
+        commits that caused it.
+        """
+        self._append(
+            WalRecord(kind=RECORD_MEMBERSHIP, epoch=epoch, members=tuple(members))
+        )
 
     def _append(self, record: WalRecord) -> None:
         self._records.append(record)
@@ -133,3 +149,11 @@ class WriteAheadLog:
             if record.kind == RECORD_EPOCH_START:
                 return record.epoch
         return None
+
+    def membership_records(self) -> List[Tuple[EpochNr, Tuple[int, ...]]]:
+        """The live membership activations as ``(epoch, members)`` tuples."""
+        return [
+            (r.epoch, r.members)
+            for r in self._records
+            if r.kind == RECORD_MEMBERSHIP
+        ]

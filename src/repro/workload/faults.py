@@ -18,9 +18,13 @@ from ..sim.faults import (
     CRASH_AT_TIME,
     CRASH_EPOCH_END,
     CRASH_EPOCH_START,
+    MEMBER_ADD,
+    MEMBER_EVICT_DETECTED,
+    MEMBER_REMOVE,
     ByzantineSpec,
     CrashSpec,
     MaliciousClientSpec,
+    MembershipSpec,
     StragglerSpec,
 )
 from ..core.types import BucketId, ClientId, NodeId
@@ -257,6 +261,70 @@ def lossy_links(
         )
         for src, dst in pairs
     ]
+
+
+def membership_additions(
+    count: int, num_nodes: int, start: float = 3.0, spacing: float = 0.0
+) -> List[MembershipSpec]:
+    """``count`` joiners (ids counted up from ``num_nodes``) submitted as
+    add-ConfigTxs from ``start``, ``spacing`` seconds apart.
+
+    Joiner ids must be contiguous from the genesis ``num_nodes`` (the
+    harness's node table is id-indexed), which this builder guarantees.
+    """
+    if count < 0:
+        raise ValueError("joiner count must be non-negative")
+    return [
+        MembershipSpec(node=num_nodes + i, action=MEMBER_ADD, time=start + i * spacing)
+        for i in range(count)
+    ]
+
+
+def membership_removals(
+    nodes: Sequence[NodeId], start: float = 3.0, spacing: float = 0.0
+) -> List[MembershipSpec]:
+    """One remove-ConfigTx per entry of ``nodes``, ``spacing`` seconds apart."""
+    return [
+        MembershipSpec(node=node, action=MEMBER_REMOVE, time=start + i * spacing)
+        for i, node in enumerate(nodes)
+    ]
+
+
+def eviction_watch(nodes: Sequence[NodeId], start: float = 0.0) -> List[MembershipSpec]:
+    """Detection-driven removals: the harness polls the failure detectors
+    from ``start`` and submits a remove-ConfigTx for each of ``nodes`` once
+    some correct replica has recorded it as a failed leader.  Pair with a
+    :class:`ByzantineSpec` for the same node to close the eviction loop:
+    misbehave → view change → failure history → removal from membership.
+    """
+    return [
+        MembershipSpec(node=node, action=MEMBER_EVICT_DETECTED, time=start)
+        for node in nodes
+    ]
+
+
+def rolling_upgrade_specs(
+    num_nodes: int, start: float = 3.0, period: float = 8.0
+) -> List[MembershipSpec]:
+    """Upgrade every genesis replica in turn: remove node ``i`` at
+    ``start + 2·period·i``, re-add it one ``period`` later.
+
+    ``period`` must exceed the epoch duration at the scenario's request
+    rate: a remove and re-add of the same node committed inside one epoch
+    cancel out before activation, and the "upgrade" never happens.  One
+    node is out at a time, so a strong quorum of the remaining replicas
+    keeps ordering throughout.
+    """
+    if num_nodes < 2:
+        raise ValueError("rolling upgrade needs at least 2 nodes")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    specs: List[MembershipSpec] = []
+    for i in range(num_nodes):
+        cycle = start + 2 * period * i
+        specs.append(MembershipSpec(node=i, action=MEMBER_REMOVE, time=cycle))
+        specs.append(MembershipSpec(node=i, action=MEMBER_ADD, time=cycle + period))
+    return specs
 
 
 def _check_count(count: int, num_nodes: int) -> None:

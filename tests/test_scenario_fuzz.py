@@ -51,8 +51,16 @@ def test_population_covers_protocols_and_faults():
     fault_kinds = {fault for spec in POPULATION for fault in spec["faults"]}
     assert protocols == {"pbft", "hotstuff", "raft"}
     assert {"crash", "straggler", "link-loss"} <= fault_kinds
+    assert "member-add" in fault_kinds or "member-remove" in fault_kinds
     assert any(not spec["faults"] for spec in POPULATION)
     assert any(spec["wan_regions"] for spec in POPULATION)
+
+
+def test_membership_scenarios_shorten_epochs():
+    """Reconfiguring scenarios pin the short epoch so activations land."""
+    for spec in POPULATION:
+        reconfiguring = "member-add" in spec["faults"] or "member-remove" in spec["faults"]
+        assert bool(spec["epoch_length"]) == reconfiguring
 
 
 def test_random_scenario_draws_are_replayable():
