@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check perf-smoke recovery-smoke byzantine-smoke client-abuse-smoke partition-smoke membership-smoke fuzz-smoke obs-smoke fig5-smoke bench
+.PHONY: test docs-check perf-smoke recovery-smoke byzantine-smoke client-abuse-smoke partition-smoke membership-smoke fuzz-smoke live-smoke obs-smoke fig5-smoke bench
 
 # Tier-1 test suite (the CI gate; see ROADMAP.md).
 test:
@@ -60,6 +60,14 @@ membership-smoke:
 # hold and the engines must stay bit-identical (see repro.fuzz_smoke).
 fuzz-smoke:
 	$(PYTHON) -m repro.fuzz_smoke
+
+# Real 4-node localhost cluster (one OS process per replica, TCP, fsync'd
+# storage) driven with KV traffic through one kill -9 + restart; every op
+# must complete, the durable logs must agree, the victim must catch up, and
+# the run's deterministic shape must match
+# tests/data/golden_trace_live.json (see repro.live_smoke).
+live-smoke:
+	$(PYTHON) -m repro.live_smoke
 
 # Profiling scenario untraced vs fully traced: tracing must not perturb the
 # schedule, every completed request must close a valid span chain, the

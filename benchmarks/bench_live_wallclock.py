@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Live-backend wall-clock benchmark: real cluster vs simulator model.
+
+Boots a real 4-node PBFT cluster on localhost (one OS process per
+replica, TCP transport, fsync'd storage) twice — wire batching off and
+on — and drives a fixed number of replicated-KV puts from closed-loop
+clients, measuring **wall-clock** throughput and latency.  Then runs the
+deterministic simulator over the same ``ISSConfig`` and reports its
+modelled throughput/latency next to the measured ones, so the tracked
+artefact shows how the modelled backend relates to a real deployment on
+the CI host.
+
+Writes ``BENCH_live_wallclock.json`` in the repo root.  Wall-clock
+figures are host-dependent by nature: the artefact tracks the trajectory,
+it is not a pass/fail gate (the pass/fail live gate is
+``repro.live_smoke``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_live_wallclock.py [--ops N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import smokelib  # noqa: E402
+from repro.app.kv import KVClient  # noqa: E402
+from repro.core.config import (  # noqa: E402
+    ISSConfig,
+    PROTOCOL_PBFT,
+    WorkloadConfig,
+)
+from repro.crypto.signatures import KeyStore  # noqa: E402
+from repro.harness.runner import run_experiment  # noqa: E402
+from repro.metrics.collector import LatencySummary  # noqa: E402
+from repro.net.clock import WallClock  # noqa: E402
+from repro.net.deploy import (  # noqa: E402
+    LiveClusterSpec,
+    LiveDeployment,
+    live_base_port,
+    live_host,
+)
+from repro.net.transport import TcpTransport  # noqa: E402
+
+NUM_NODES = 4
+NUM_CLIENTS = 3
+DEFAULT_OPS = 45
+SEED = 21
+EPOCH_LENGTH = 16
+#: Wire-batching flush tick for the batched mode (matches the simulator's
+#: scaled-WAN default in harness.scenarios).
+FLUSH_INTERVAL = 0.02
+#: Offset from REPRO_LIVE_BASE_PORT so the bench never collides with a
+#: concurrently running live smoke gate on the same host.
+PORT_OFFSET = 170
+
+
+def make_config() -> ISSConfig:
+    """The shared protocol configuration for both backends."""
+    return ISSConfig(
+        num_nodes=NUM_NODES,
+        protocol=PROTOCOL_PBFT,
+        epoch_length=EPOCH_LENGTH,
+        random_seed=SEED,
+        client_retry_timeout=0.5,
+        client_retry_max_timeout=4.0,
+    )
+
+
+async def _drive_puts(spec: LiveClusterSpec, ops: int) -> Dict[str, float]:
+    """Closed-loop put workload against a running cluster; wall figures."""
+    clock = WallClock(seed=SEED)
+    transport = TcpTransport(clock, peers=spec.peer_map())
+    await transport.start()
+    key_store = KeyStore(deployment_seed=spec.config.random_seed)
+    clients = [
+        KVClient(client_id, spec.config, clock, transport, key_store)
+        for client_id in spec.client_ids
+    ]
+    t0 = time.monotonic()
+    outcomes = await asyncio.gather(
+        *[
+            clients[i % len(clients)].put(f"key{i}", f"value{i}", timeout=120.0)
+            for i in range(ops)
+        ]
+    )
+    elapsed = time.monotonic() - t0
+    await transport.close()
+    summary = LatencySummary.from_samples([o.latency for o in outcomes])
+    return {
+        "ops": len(outcomes),
+        "wall_seconds": round(elapsed, 3),
+        "throughput_ops_per_s": round(len(outcomes) / elapsed, 2),
+        "latency_mean": round(summary.mean, 4),
+        "latency_p50": round(summary.p50, 4),
+        "latency_p95": round(summary.p95, 4),
+        "latency_max": round(summary.maximum, 4),
+    }
+
+
+def run_live_mode(ops: int, batch_flush_interval: float) -> Dict[str, float]:
+    """One live-cluster measurement at the given wire-batching setting."""
+    with tempfile.TemporaryDirectory(prefix="repro-live-bench-") as data_dir:
+        spec = LiveClusterSpec(
+            config=make_config(),
+            data_dir=data_dir,
+            base_port=live_base_port() + PORT_OFFSET,
+            host=live_host(),
+            client_ids=tuple(range(NUM_CLIENTS)),
+            batch_flush_interval=batch_flush_interval,
+        )
+        with LiveDeployment(spec):
+            return asyncio.run(_drive_puts(spec, ops))
+
+
+def run_simulator_reference(ops: int) -> Dict[str, float]:
+    """The simulator's modelled figures over the same protocol config.
+
+    The simulator drives an open-loop rate workload, so the comparison is
+    of modelled steady-state throughput/latency against the live
+    closed-loop measurement — a calibration reference, not an identity.
+    """
+    config = make_config()
+    workload = WorkloadConfig(
+        num_clients=NUM_CLIENTS,
+        total_rate=float(ops),
+        duration=10.0,
+        payload_size=64,
+    )
+    report = run_experiment(config, workload)
+    return {
+        "ops": report.completed,
+        "modelled_seconds": report.duration,
+        "throughput_ops_per_s": round(report.throughput, 2),
+        "latency_mean": round(report.latency.mean, 4),
+        "latency_p50": round(report.latency.p50, 4),
+        "latency_p95": round(report.latency.p95, 4),
+        "latency_max": round(report.latency.maximum, 4),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run both live modes plus the simulator reference; write the artefact."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ops", type=int, default=DEFAULT_OPS, help="KV puts per live mode"
+    )
+    args = parser.parse_args(argv)
+
+    print(f"live wall-clock bench: {NUM_NODES} pbft nodes, {args.ops} puts/mode ...")
+    unbatched = run_live_mode(args.ops, batch_flush_interval=0.0)
+    print(f"  live unbatched: {unbatched}")
+    batched = run_live_mode(args.ops, batch_flush_interval=FLUSH_INTERVAL)
+    print(f"  live batched:   {batched}")
+    simulated = run_simulator_reference(args.ops)
+    print(f"  simulator:      {simulated}")
+
+    figures = {
+        "num_nodes": NUM_NODES,
+        "num_clients": NUM_CLIENTS,
+        "protocol": PROTOCOL_PBFT,
+        "live_unbatched": unbatched,
+        "live_batched": batched,
+        "simulator_reference": simulated,
+    }
+    bench_path = smokelib.bench_output_path("BENCH_live_wallclock.json")
+    smokelib.write_bench(bench_path, "benchmarks/bench_live_wallclock.py", figures)
+    print(f"wrote {bench_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,11 @@ Runs, in order:
 * ``python -m repro.fuzz_smoke`` (reduced count) — seeded random
   scenarios run on both simulator engines; safety invariants must hold
   and the engines must stay bit-identical,
+* ``python -m repro.live_smoke`` — a **real** 4-node localhost cluster
+  (one OS process per replica, TCP, fsync'd storage) driven with KV
+  traffic through one ``kill -9`` + restart; every operation must
+  complete, the durable logs must agree, the victim must catch up, and
+  the run's deterministic shape must match the live golden trace,
 * ``python -m repro.obs_smoke`` — the profiling scenario untraced vs
   fully traced; tracing must not perturb the schedule, every completed
   request must close a valid span chain, the artifacts must round-trip
@@ -63,6 +68,7 @@ from repro.byzantine_smoke import main as byzantine_main  # noqa: E402
 from repro.client_abuse_smoke import main as client_abuse_main  # noqa: E402
 from repro.doccheck import main as doccheck_main  # noqa: E402
 from repro.fuzz_smoke import main as fuzz_main  # noqa: E402
+from repro.live_smoke import main as live_main  # noqa: E402
 from repro.obs_smoke import main as obs_main  # noqa: E402
 from repro.membership_smoke import main as membership_main  # noqa: E402
 from repro.partition_smoke import main as partition_main  # noqa: E402
@@ -79,6 +85,7 @@ if __name__ == "__main__":
     partition_status = partition_main([])
     membership_status = membership_main([])
     fuzz_status = fuzz_main(["--count", "6"])
+    live_status = live_main([])
     obs_status = obs_main([])
     fig5_status = fig5_main(["--smoke"])
     doc_status = doccheck_main([])
@@ -90,6 +97,7 @@ if __name__ == "__main__":
         or partition_status
         or membership_status
         or fuzz_status
+        or live_status
         or obs_status
         or fig5_status
         or doc_status

@@ -1,10 +1,32 @@
-"""Setuptools shim.
+"""Setuptools configuration for the ISS reproduction.
 
-The canonical build configuration lives in ``pyproject.toml``; this file
-exists so that editable installs work in offline environments whose
-setuptools cannot build PEP 660 wheels (``pip install -e . --no-use-pep517``).
+The repo is runnable in place (``PYTHONPATH=src``, see the Makefile); an
+install additionally provides the live-deployment console scripts::
+
+    repro-kv-server      # boot a live localhost cluster (repro.kv_server)
+    repro-kv-client      # put/get/cas against it (repro.kv_client)
+    repro-trace-report   # summarise an exported trace (repro.trace_report)
+
+Offline editable installs: ``pip install -e . --no-use-pep517``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-iss",
+    version="1.0.0",
+    description=(
+        "Reproduction of ISS (Insanely Scalable SMR): deterministic "
+        "simulator plus a live TCP deployment backend"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-kv-server=repro.kv_server:main",
+            "repro-kv-client=repro.kv_client:main",
+            "repro-trace-report=repro.trace_report:main",
+        ]
+    },
+)

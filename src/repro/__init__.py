@@ -4,8 +4,16 @@ The package implements the paper's contribution (the ISS multiplexing
 construction and the Sequenced Broadcast abstraction), the three ordering
 protocols it wraps (PBFT, chained HotStuff, Raft), the reference
 SB-from-consensus construction, the Mir-BFT and single-leader baselines, and
-the simulated WAN substrate plus experiment harness used to reproduce every
-table and figure of the evaluation.
+two interchangeable deployment backends behind one node boundary: the
+simulated WAN substrate plus experiment harness used to reproduce every
+table and figure of the evaluation, and a live asyncio/TCP backend that runs
+the same protocol objects as real processes over real sockets.
+
+The top level re-exports lazily (PEP 562): importing ``repro`` — or any
+protocol submodule, which implicitly imports its parent package — pulls in
+no backend.  ``repro.core``/``repro.pbft``/... stay importable without
+``repro.sim`` ever loading (asserted by ``tests/test_layering.py``), and the
+CLI entry points only pay for the modules they touch.
 
 Quick start::
 
@@ -17,95 +25,74 @@ Quick start::
     print(report.throughput, report.latency.mean)
 """
 
-from .core.config import (
-    ISSConfig,
-    NetworkConfig,
-    WorkloadConfig,
-    paper_config,
-    PROTOCOL_PBFT,
-    PROTOCOL_HOTSTUFF,
-    PROTOCOL_RAFT,
-    PROTOCOL_CONSENSUS,
-    POLICY_SIMPLE,
-    POLICY_BACKOFF,
-    POLICY_BLACKLIST,
-)
-from .core.types import Request, RequestId, Batch, NIL, DeliveredRequest
-from .core.iss import ISSNode
-from .core.client import Client
-from .harness.runner import Deployment, DeploymentResult, run_experiment, find_peak_throughput
-from .metrics.collector import RunReport, LatencySummary, MetricsCollector
-from .sim.faults import (
-    CrashSpec,
-    RestartSpec,
-    StragglerSpec,
-    ByzantineSpec,
-    MaliciousClientSpec,
-    MembershipSpec,
-    MEMBER_ADD,
-    MEMBER_REMOVE,
-    MEMBER_EVICT_DETECTED,
-    BYZ_EQUIVOCATE,
-    BYZ_CENSOR,
-    BYZ_INVALID_VOTES,
-    BYZ_REPLAY,
-    CLIENT_WATERMARK_ABUSE,
-    CLIENT_DUPLICATE_FLOOD,
-    CLIENT_BUCKET_BIAS,
-    CLIENT_FORGED_SIGNATURE,
-)
-from .obs import ObsConfig
-from .sim.chaos import PartitionSpec, LinkFaultSpec
-from .sim.client_adversary import AbusiveClient
+import importlib
+
+#: Public name -> defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    "ISSConfig": ".core.config",
+    "NetworkConfig": ".core.config",
+    "WorkloadConfig": ".core.config",
+    "paper_config": ".core.config",
+    "PROTOCOL_PBFT": ".core.config",
+    "PROTOCOL_HOTSTUFF": ".core.config",
+    "PROTOCOL_RAFT": ".core.config",
+    "PROTOCOL_CONSENSUS": ".core.config",
+    "POLICY_SIMPLE": ".core.config",
+    "POLICY_BACKOFF": ".core.config",
+    "POLICY_BLACKLIST": ".core.config",
+    "Request": ".core.types",
+    "RequestId": ".core.types",
+    "Batch": ".core.types",
+    "NIL": ".core.types",
+    "DeliveredRequest": ".core.types",
+    "ISSNode": ".core.iss",
+    "Client": ".core.client",
+    "Deployment": ".harness.runner",
+    "DeploymentResult": ".harness.runner",
+    "run_experiment": ".harness.runner",
+    "find_peak_throughput": ".harness.runner",
+    "RunReport": ".metrics.collector",
+    "LatencySummary": ".metrics.collector",
+    "MetricsCollector": ".metrics.collector",
+    "CrashSpec": ".runtime.faults",
+    "RestartSpec": ".runtime.faults",
+    "StragglerSpec": ".runtime.faults",
+    "ByzantineSpec": ".runtime.faults",
+    "MaliciousClientSpec": ".runtime.faults",
+    "MembershipSpec": ".runtime.faults",
+    "MEMBER_ADD": ".runtime.faults",
+    "MEMBER_REMOVE": ".runtime.faults",
+    "MEMBER_EVICT_DETECTED": ".runtime.faults",
+    "BYZ_EQUIVOCATE": ".runtime.faults",
+    "BYZ_CENSOR": ".runtime.faults",
+    "BYZ_INVALID_VOTES": ".runtime.faults",
+    "BYZ_REPLAY": ".runtime.faults",
+    "CLIENT_WATERMARK_ABUSE": ".runtime.faults",
+    "CLIENT_DUPLICATE_FLOOD": ".runtime.faults",
+    "CLIENT_BUCKET_BIAS": ".runtime.faults",
+    "CLIENT_FORGED_SIGNATURE": ".runtime.faults",
+    "ObsConfig": ".obs",
+    "PartitionSpec": ".sim.chaos",
+    "LinkFaultSpec": ".sim.chaos",
+    "AbusiveClient": ".sim.client_adversary",
+    "LiveDeployment": ".net.deploy",
+    "LiveClusterSpec": ".net.deploy",
+}
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "ISSConfig",
-    "NetworkConfig",
-    "WorkloadConfig",
-    "paper_config",
-    "PROTOCOL_PBFT",
-    "PROTOCOL_HOTSTUFF",
-    "PROTOCOL_RAFT",
-    "PROTOCOL_CONSENSUS",
-    "POLICY_SIMPLE",
-    "POLICY_BACKOFF",
-    "POLICY_BLACKLIST",
-    "Request",
-    "RequestId",
-    "Batch",
-    "NIL",
-    "DeliveredRequest",
-    "ISSNode",
-    "Client",
-    "Deployment",
-    "DeploymentResult",
-    "run_experiment",
-    "find_peak_throughput",
-    "RunReport",
-    "LatencySummary",
-    "MetricsCollector",
-    "CrashSpec",
-    "RestartSpec",
-    "StragglerSpec",
-    "ByzantineSpec",
-    "MaliciousClientSpec",
-    "MembershipSpec",
-    "MEMBER_ADD",
-    "MEMBER_REMOVE",
-    "MEMBER_EVICT_DETECTED",
-    "ObsConfig",
-    "PartitionSpec",
-    "LinkFaultSpec",
-    "AbusiveClient",
-    "BYZ_EQUIVOCATE",
-    "BYZ_CENSOR",
-    "BYZ_INVALID_VOTES",
-    "BYZ_REPLAY",
-    "CLIENT_WATERMARK_ABUSE",
-    "CLIENT_DUPLICATE_FLOOD",
-    "CLIENT_BUCKET_BIAS",
-    "CLIENT_FORGED_SIGNATURE",
-    "__version__",
-]
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name):
+    """Resolve a public name from its defining submodule on first use."""
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name, __name__), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -28,7 +28,7 @@ from typing import Dict, Optional, Set
 
 from ..core.iss import ISSNode
 from ..core.types import EpochNr, NodeId
-from ..sim.simulator import Timer
+from ..runtime.api import Timer
 
 
 @dataclass(frozen=True)

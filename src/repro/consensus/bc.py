@@ -24,8 +24,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.types import NodeId
-from ..sim.batching import register_batchable
-from ..sim.simulator import Simulator, Timer
+from ..runtime.api import Scheduler, Timer
+from ..runtime.wire import register_batchable
 
 #: Sentinel used as the "could not agree on a proposed value" decision.
 BOTTOM = "⊥"
@@ -47,7 +47,7 @@ class BcPropose:
     value: object
 
     def wire_size(self) -> int:
-        from ..sim.network import wire_size
+        from ..runtime.wire import wire_size
 
         return 48 + wire_size(self.value)
 
@@ -88,7 +88,7 @@ class BcViewChange:
     prepared_value: Optional[object]
 
     def wire_size(self) -> int:
-        from ..sim.network import wire_size
+        from ..runtime.wire import wire_size
 
         return 64 + (wire_size(self.prepared_value) if self.prepared_value is not None else 0)
 
@@ -103,7 +103,7 @@ class ByzantineConsensus:
         node_id: NodeId,
         num_nodes: int,
         max_faulty: int,
-        sim: Simulator,
+        sim: Scheduler,
         broadcast_fn: Callable[[object], None],
         decide_fn: Callable[[object], None],
         view_timeout: float = 4.0,

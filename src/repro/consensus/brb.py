@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set
 
 from ..core.types import NodeId
-from ..sim.batching import register_batchable
+from ..runtime.wire import register_batchable
 
 
 @dataclass(frozen=True)
@@ -30,7 +30,7 @@ class BrbSend:
     payload: object
 
     def wire_size(self) -> int:
-        from ..sim.network import wire_size
+        from ..runtime.wire import wire_size
 
         return 48 + wire_size(self.payload)
 
@@ -44,7 +44,7 @@ class BrbEcho:
     payload: object
 
     def wire_size(self) -> int:
-        from ..sim.network import wire_size
+        from ..runtime.wire import wire_size
 
         return 48 + wire_size(self.payload)
 
@@ -58,7 +58,7 @@ class BrbReady:
     payload: object
 
     def wire_size(self) -> int:
-        from ..sim.network import wire_size
+        from ..runtime.wire import wire_size
 
         return 48 + wire_size(self.payload)
 

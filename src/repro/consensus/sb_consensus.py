@@ -22,7 +22,7 @@ from typing import Dict, Optional, Set
 from ..core.pacing import ProposalPacer
 from ..core.sb import SBContext, SBInstance
 from ..core.types import Batch, NIL, NodeId, SeqNr
-from ..sim.batching import is_batchable, register_batchable
+from ..runtime.wire import is_batchable, register_batchable
 from ..fd.detector import EVENT_SUSPECT, FailureDetector
 from .bc import BOTTOM, ByzantineConsensus
 from .brb import ReliableBroadcast
@@ -37,7 +37,7 @@ class SbWrapped:
     inner: object
 
     def wire_size(self) -> int:
-        from ..sim.network import wire_size
+        from ..runtime.wire import wire_size
 
         return 16 + wire_size(self.inner)
 

@@ -17,7 +17,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..crypto.hashing import hash_int, sha256
 from ..crypto.merkle import merkle_root
 from ..crypto.signatures import SIGNATURE_SIZE, KeyStore
-from ..sim.batching import register_batchable
+from ..runtime.wire import register_batchable
 from .config import ISSConfig
 from .log import Log
 from .segment import epoch_last_sn, epoch_seq_nrs

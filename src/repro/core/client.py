@@ -28,8 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..crypto.signatures import KeyStore
-from ..sim.network import Network
-from ..sim.simulator import Simulator, Timer
+from ..runtime.api import Scheduler, Timer, Transport
 from .buckets import assignment_for_epoch, bucket_of
 from .config import ISSConfig
 from .messages import (
@@ -62,12 +61,13 @@ class Client:
         self,
         client_id: ClientId,
         config: ISSConfig,
-        sim: Simulator,
-        network: Network,
+        sim: Scheduler,
+        network: Transport,
         key_store: KeyStore,
         on_complete: Optional[CompletionListener] = None,
         sign_requests: Optional[bool] = None,
         tracer=None,
+        first_timestamp: int = 0,
     ):
         self.client_id = client_id
         self.config = config
@@ -82,14 +82,18 @@ class Client:
             config.client_signatures if sign_requests is None else sign_requests
         )
         self.endpoint = client_endpoint(client_id)
-        self._next_timestamp = 0
+        #: ``first_timestamp`` lets a re-launched client (live CLI) resume
+        #: after its own delivered prefix instead of reusing timestamps the
+        #: node-side watermarks have already passed; it must equal the
+        #: client's contiguous completed count or the window gate misfires.
+        self._next_timestamp = first_timestamp
         self._pending: Dict[RequestId, _PendingRequest] = {}
         #: Lowest timestamp not yet completed — the client-side mirror of the
         #: node-side low watermark, which is anchored at the *contiguous*
         #: delivered prefix.  Gating submission on this (rather than the
         #: pending count) keeps every emitted timestamp inside the node-side
         #: window even when completions land out of order.
-        self._lowest_uncompleted = 0
+        self._lowest_uncompleted = first_timestamp
         #: Completed timestamps above :attr:`_lowest_uncompleted` (the
         #: out-of-order completion buffer; drained as the prefix advances).
         self._completed_ahead: Set[int] = set()

@@ -30,14 +30,24 @@ delivers; both only reduce the number of messages on the simulated wire.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..crypto.signatures import KeyStore
 from ..fd.detector import FailureDetector, HeartbeatMsg
-from ..sim.faults import BYZ_CENSOR, ByzantineSpec, FaultInjector, StragglerSpec
-from ..sim.network import Network
-from ..sim.simulator import Simulator, Timer
-from ..storage.node_storage import NodeStorage
+from ..runtime.api import FaultNotifier, Scheduler, Transport
+from ..runtime.faults import BYZ_CENSOR, ByzantineSpec, StragglerSpec
+
+if TYPE_CHECKING:  # annotation-only: storage imports core, not vice versa
+    from ..storage.node_storage import NodeStorage
 from .buckets import BucketPool
 from .checkpoint import CheckpointMsg, CheckpointProtocol
 from .config import ISSConfig, PROTOCOL_CONSENSUS
@@ -81,12 +91,12 @@ class ISSNode:
         self,
         node_id: NodeId,
         config: ISSConfig,
-        sim: Simulator,
-        network: Network,
+        sim: Scheduler,
+        network: Transport,
         key_store: KeyStore,
         client_ids: Iterable[int] = (),
         on_deliver: Optional[DeliveryListener] = None,
-        fault_injector: Optional[FaultInjector] = None,
+        fault_injector: Optional[FaultNotifier] = None,
         straggler: Optional[StragglerSpec] = None,
         byzantine: Optional[ByzantineSpec] = None,
         policy: Optional[LeaderSelectionPolicy] = None,

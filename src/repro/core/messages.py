@@ -11,8 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from ..sim.batching import is_batchable, register_batchable
-from ..sim.network import wire_size
+from ..runtime.wire import is_batchable, register_batchable, wire_size
 from .types import BucketId, ClientId, EpochNr, NodeId, Request, RequestId, SeqNr
 
 #: Network endpoint ids of clients start here so they never collide with nodes.

@@ -20,7 +20,7 @@ from typing import Callable, List, Optional
 
 from .sb import SBContext
 from .types import Batch, SeqNr
-from ..sim.simulator import Timer
+from ..runtime.api import Timer
 
 
 class ProposalPacer:

@@ -23,7 +23,7 @@ from typing import Callable, Iterable, List, Optional, Tuple
 
 from .config import ISSConfig
 from .types import Batch, EpochNr, LogEntry, NodeId, SegmentDescriptor, SeqNr
-from ..sim.simulator import Timer
+from ..runtime.api import Timer
 
 
 #: Type of the instance identifier: ``(epoch, segment leader)``.

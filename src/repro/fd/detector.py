@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from ..core.types import NodeId
-from ..sim.simulator import Simulator, Timer
+from ..runtime.api import Scheduler, Timer
 
 #: Event kinds passed to subscribers.
 EVENT_SUSPECT = "suspect"
@@ -49,7 +49,7 @@ class FailureDetector:
         self,
         node_id: NodeId,
         all_nodes: Iterable[NodeId],
-        sim: Simulator,
+        sim: Scheduler,
         broadcast_fn: Callable[[object], None],
         heartbeat_interval: float = 1.0,
         initial_timeout: float = 4.0,

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..core.sb import SBContext, SBInstance
 from ..core.types import Batch, LogEntry, NIL, NodeId, SeqNr, ViewNr, is_nil
 from ..crypto.threshold import PartialSignature, ThresholdScheme
-from ..sim.simulator import Timer
+from ..runtime.api import Timer
 from .messages import (
     Block,
     GENESIS_DIGEST,

@@ -8,7 +8,7 @@ from typing import Optional, Tuple
 from ..core.types import LogEntry, NIL, SeqNr, ViewNr, is_nil
 from ..crypto.hashing import hash_int, sha256
 from ..crypto.threshold import PartialSignature, ThresholdSignature
-from ..sim.batching import register_batchable
+from ..runtime.wire import register_batchable
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,105 @@
+"""The per-node child process of a live deployment.
+
+One process per replica: an asyncio loop hosting one
+:class:`~repro.core.iss.ISSNode` (the identical protocol object the
+simulator runs), wired to a :class:`~repro.net.clock.WallClock`, a
+:class:`~repro.net.transport.TcpTransport`, a file-backed
+:class:`~repro.storage.durable.DurableNodeStorage`, and the replicated-KV
+application (:class:`~repro.app.kv.KVApp`).
+
+Startup distinguishes first boot from restart by looking at the data
+directory: prior state routes through the same
+:class:`~repro.storage.recovery.RecoveryManager` pipeline the simulator's
+restart path uses — snapshot apply, WAL-tail replay (over records that
+genuinely survived a ``kill -9`` via fsync), epoch fast-forward — then the
+node resumes at the first incomplete epoch in aggressive-catchup mode and
+a small watcher ends catchup once the node completes an epoch beyond its
+recovered frontier (the live analogue of the harness's caught-up poll,
+which a child process cannot run for lack of a peers' frontier view).
+
+The process runs until SIGTERM (clean drain) or SIGKILL (the crash the
+recovery path exists for).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+
+from ..app.kv import KVApp
+from ..core.iss import ISSNode
+from ..crypto.signatures import KeyStore
+from ..storage.durable import DurableNodeStorage
+from ..storage.recovery import RecoveryManager
+from .clock import WallClock
+from .transport import TcpTransport
+
+#: Tick of the post-restart catchup-end watcher (wall seconds).
+CATCHUP_POLL_INTERVAL = 0.5
+
+
+def node_main(spec, node_id: int) -> None:
+    """Child-process entry point (the ``multiprocessing`` spawn target)."""
+    asyncio.run(run_node(spec, node_id))
+
+
+async def run_node(spec, node_id: int) -> None:
+    """Build and run one replica until the process is told to stop."""
+    clock = WallClock(seed=spec.config.random_seed * 100_003 + node_id)
+    transport = TcpTransport(
+        clock,
+        peers=spec.peer_map(exclude=node_id),
+        listen=spec.address(node_id),
+        batch_flush_interval=spec.batch_flush_interval,
+    )
+    await transport.start()
+    storage = DurableNodeStorage(node_id, spec.node_dir(node_id), fsync=spec.fsync)
+    key_store = KeyStore(deployment_seed=spec.config.random_seed)
+    app = KVApp(node_id, transport)
+    node = ISSNode(
+        node_id=node_id,
+        config=spec.config,
+        sim=clock,
+        network=transport,
+        key_store=key_store,
+        client_ids=list(spec.client_ids),
+        on_deliver=app.on_deliver,
+        storage=storage,
+    )
+    if storage.has_state():
+        # Restart: recover from the fsync'd files, then chase the frontier.
+        app.replaying = True
+        info = RecoveryManager(storage).recover(node, now=clock.now)
+        app.replaying = False
+        node.start_at(info.resume_epoch)
+        node.begin_recovery_catchup()
+        _watch_catchup_end(clock, node, info.resume_epoch)
+    else:
+        node.start()
+
+    stopping = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stopping.set)
+    await stopping.wait()
+    await transport.close()
+    storage.close()
+
+
+def _watch_catchup_end(clock: WallClock, node: ISSNode, resume_epoch: int) -> None:
+    """End aggressive catchup once the node progresses past its recovery.
+
+    Completing an epoch at or beyond the resume point means state transfer
+    filled everything ordered while the process was down and live
+    delivery has taken over; the periodic check re-arms until then.
+    """
+
+    def check() -> None:
+        if node.crashed:
+            return
+        if node.epochs_completed > resume_epoch:
+            node.end_recovery_catchup()
+            return
+        clock.schedule_callback(CATCHUP_POLL_INTERVAL, check)
+
+    clock.schedule_callback(CATCHUP_POLL_INTERVAL, check)

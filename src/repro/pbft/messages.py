@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..core.types import LogEntry, NIL, SeqNr, ViewNr, is_nil
-from ..sim.batching import register_batchable
+from ..runtime.wire import register_batchable
 
 
 def entry_wire_size(entry: LogEntry) -> int:

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..core.pacing import ProposalPacer
 from ..core.sb import SBContext, SBInstance
 from ..core.types import Batch, LogEntry, NIL, NodeId, SeqNr, ViewNr, is_nil
-from ..sim.simulator import Timer
+from ..runtime.api import Timer
 from .messages import Commit, NewView, Prepare, PreparedProof, PrePrepare, ViewChange
 
 

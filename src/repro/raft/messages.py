@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..core.types import LogEntry, SeqNr, is_nil
-from ..sim.batching import register_batchable
+from ..runtime.wire import register_batchable
 
 
 @dataclass(frozen=True)

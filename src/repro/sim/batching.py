@@ -1,214 +1,29 @@
-"""Cross-protocol small-message batching (vote aggregation on the wire).
+"""Compatibility shim: wire batching moved to :mod:`repro.runtime.wire`.
 
-At scale, the dominant simulator cost is no longer *what* the protocols
-compute but *how many* wire messages they exchange: every protocol vote
-(PBFT PREPARE/COMMIT, HotStuff votes, Raft append-entries replies, BRB
-echoes), every client request and every aggregated client acknowledgement
-pays one NIC-serialisation, one latency sample and one delivery event.  Real
-deployments do not send these tiny messages individually either — transports
-coalesce them (Nagle-style) into larger frames.
-
-This module provides that layer for the whole simulation, mirroring the
-pattern PR 1 introduced for client responses (``ClientResponseBatchMsg``),
-but generically, underneath *all* protocols:
-
-* message types opt in through :func:`register_batchable` (votes and other
-  small, latency-tolerant messages; proposals and payload-carrying messages
-  stay unbatched);
-* :class:`MessageBatcher` coalesces opted-in messages per ``(sender,
-  receiver, flush tick)`` into a single :class:`MessageBatchMsg` on the wire,
-  where flush ticks are virtual-time windows of ``flush_interval`` seconds;
-* the receiving :class:`~repro.sim.network.Network` endpoint unpacks the
-  batch and hands every payload to the registered handler individually and
-  in send order, so per-vote delivery semantics are unchanged — only the
-  arrival *times* quantise to tick boundaries.
-
-Batching is off by default (``NetworkConfig.batch_flush_interval = 0``); the
-perf-smoke batched scenario and the figure benchmarks enable it.  Everything
-here is deterministic: buffers flush at fixed tick boundaries through the
-simulator's ordered callback path, so same-seed runs produce identical
-schedules (pinned by the batched golden trace in ``tests/test_batching.py``).
+The batching layer is transport-independent (it only needs a
+:class:`~repro.runtime.api.Scheduler`), so the node/transport boundary
+refactor moved it out of the simulator package.  This module re-exports the
+same objects so existing imports — and the class identities the golden
+traces and ``isinstance`` checks rely on — keep working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from ..runtime.wire import (  # noqa: F401
+    _REGISTRY,
+    BATCH_HEADER_BYTES,
+    BatcherStats,
+    MessageBatcher,
+    MessageBatchMsg,
+    is_batchable,
+    register_batchable,
+)
 
-from .simulator import Simulator
-
-#: Fixed framing overhead charged per wire batch (length prefix + counts).
-BATCH_HEADER_BYTES = 16
-
-#: Registered batchable types: ``True`` (always batchable) or a predicate
-#: ``fn(message) -> bool`` for envelope types whose batchability depends on
-#: the wrapped payload (e.g. ``InstanceMessage``).
-_REGISTRY: Dict[type, object] = {}
-
-
-def register_batchable(
-    cls: type, predicate: Optional[Callable[[object], bool]] = None
-) -> type:
-    """Mark a message type as safe to coalesce into wire batches.
-
-    Only small, latency-tolerant messages should opt in: votes,
-    acknowledgements, requests.  Proposals and other payload-carrying
-    messages should stay unbatched so their latency is unaffected.
-    ``predicate`` lets envelope types defer the decision to their payload.
-    Returns ``cls`` so the call can be used as a class decorator.
-    """
-    _REGISTRY[cls] = predicate if predicate is not None else True
-    return cls
-
-
-def is_batchable(message: object) -> bool:
-    """True when ``message`` may be coalesced into a wire batch."""
-    entry = _REGISTRY.get(message.__class__)
-    if entry is None:
-        return False
-    if entry is True:
-        return True
-    return bool(entry(message))
-
-
-@dataclass(frozen=True)
-class MessageBatchMsg:
-    """One wire frame carrying several coalesced protocol messages.
-
-    The payload tuple preserves send order; the receiving network endpoint
-    delivers every payload to the destination's handler individually, exactly
-    as if each had arrived in its own message at the same instant.  ``size``
-    is precomputed by the batcher (header plus the sum of the payloads' wire
-    sizes) so the network's cached wire-size accessor stays O(1).
-    """
-
-    payloads: Tuple[object, ...]
-    size: int
-
-    def wire_size(self) -> int:
-        return self.size
-
-
-class BatcherStats:
-    """Counters describing what the batcher did (for tests and reports)."""
-
-    __slots__ = ("payloads_enqueued", "batches_flushed", "singletons_flushed")
-
-    def __init__(self) -> None:
-        self.payloads_enqueued = 0
-        #: Flushes that produced a multi-payload :class:`MessageBatchMsg`.
-        self.batches_flushed = 0
-        #: Flushes whose buffer held one message (sent unwrapped).
-        self.singletons_flushed = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        return {
-            "payloads_enqueued": self.payloads_enqueued,
-            "batches_flushed": self.batches_flushed,
-            "singletons_flushed": self.singletons_flushed,
-        }
-
-
-class MessageBatcher:
-    """Per-network aggregator coalescing messages per (src, dst, flush tick).
-
-    The batcher never talks to the network directly: the host hands it a
-    ``send_fn(src, dst, message, size_bytes)`` (the network's immediate send
-    path) and a ``size_fn(message)`` (the wire-size estimator).  Buffered
-    messages for one link flush together at the next tick boundary — virtual
-    times that are integer multiples of ``flush_interval`` — through the
-    simulator's deterministic callback path.
-    """
-
-    def __init__(
-        self,
-        sim: Simulator,
-        flush_interval: float,
-        send_fn: Callable[[int, int, object, Optional[int]], None],
-        size_fn: Callable[[object], int],
-    ):
-        if flush_interval <= 0:
-            raise ValueError("flush_interval must be positive")
-        self.sim = sim
-        self.flush_interval = flush_interval
-        self._send = send_fn
-        self._size = size_fn
-        #: Pending payloads per directed link, in first-send order.
-        self._buffers: Dict[Tuple[int, int], List[object]] = {}
-        #: Running wire-size sum per link, maintained at enqueue time so the
-        #: flush loop never re-walks a buffer to size its frame (and lone
-        #: messages reuse the size instead of paying ``wire_size`` twice).
-        self._buffer_sizes: Dict[Tuple[int, int], int] = {}
-        #: Whether the single per-tick flush callback is already scheduled.
-        #: One event flushes *all* links at the tick boundary, so the batching
-        #: layer adds at most one simulator event per flush interval.
-        self._flush_scheduled = False
-        self.stats = BatcherStats()
-
-    # -------------------------------------------------------------- enqueue
-    def enqueue(self, src: int, dst: int, message: object) -> None:
-        """Buffer ``message`` for the (src, dst) link's next flush tick.
-
-        The payload's wire size is computed here, once, and folded into the
-        link's running sum — the flush tick then only reads precomputed
-        totals (see ``_buffer_sizes``).
-        """
-        self.stats.payloads_enqueued += 1
-        key = (src, dst)
-        buffers = self._buffers
-        size = self._size(message)
-        buffer = buffers.get(key)
-        if buffer is not None:
-            buffer.append(message)
-            self._buffer_sizes[key] += size
-            return
-        buffers[key] = [message]
-        self._buffer_sizes[key] = size
-        if not self._flush_scheduled:
-            self._flush_scheduled = True
-            interval = self.flush_interval
-            # Next tick boundary strictly after `now`: messages enqueued at
-            # the boundary itself wait one full interval, everything else
-            # less (Δ/2 on average).  Float floor-division can land exactly
-            # on `now` (e.g. 0.06 // 0.02 == 2.0), so bump once if it does.
-            now = self.sim.now
-            tick = (now // interval + 1.0) * interval
-            if tick <= now:
-                tick += interval
-            self.sim.schedule_callback_at(tick, self._flush_tick)
-
-    # ---------------------------------------------------------------- flush
-    def _flush_tick(self) -> None:
-        """Flush every buffered link (the per-tick simulator event).
-
-        Links flush in first-send order, which is deterministic; each link's
-        payloads keep their send order inside the wire frame.
-        """
-        self._flush_scheduled = False
-        buffers = self._buffers
-        if not buffers:
-            return
-        sizes = self._buffer_sizes
-        self._buffers = {}
-        self._buffer_sizes = {}
-        stats = self.stats
-        send = self._send
-        for key, buffer in buffers.items():
-            src, dst = key
-            if len(buffer) == 1:
-                # A lone message needs no envelope; it goes out as itself,
-                # with the wire size already computed at enqueue time.
-                stats.singletons_flushed += 1
-                send(src, dst, buffer[0], sizes[key])
-                continue
-            stats.batches_flushed += 1
-            size = BATCH_HEADER_BYTES + sizes[key]
-            send(src, dst, MessageBatchMsg(payloads=tuple(buffer), size=size), size)
-
-    def flush_all(self) -> None:
-        """Force-flush every pending buffer immediately (drain helper)."""
-        self._flush_tick()
-
-    def pending_payloads(self) -> int:
-        """Messages currently buffered and awaiting their flush tick."""
-        return sum(len(buffer) for buffer in self._buffers.values())
+__all__ = [
+    "BATCH_HEADER_BYTES",
+    "BatcherStats",
+    "MessageBatcher",
+    "MessageBatchMsg",
+    "is_batchable",
+    "register_batchable",
+]

@@ -38,7 +38,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..core.config import NetworkConfig
 from ..core.types import NodeId
-from .batching import MessageBatcher, MessageBatchMsg, is_batchable
+from ..runtime.wire import (
+    MessageBatcher,
+    MessageBatchMsg,
+    is_batchable,
+    wire_size,
+)
 from .chaos import (
     DROP_CRASH,
     DROP_LINK_FAULT,
@@ -63,36 +68,6 @@ LinkFilter = Callable[[NodeId, NodeId, object], bool]
 #: ``fn(dst, message)`` returns the messages actually put on the wire
 #: towards ``dst`` — transformed, duplicated, or none at all.
 AdversarialSendHook = Callable[[NodeId, object], Iterable[object]]
-
-#: Wire-size strategies, resolved once per message type (see :func:`wire_size`).
-_SIZE_WIRE, _SIZE_BYTES, _SIZE_DEFAULT = 0, 1, 2
-_SIZE_KIND_BY_TYPE: Dict[type, int] = {}
-
-
-def wire_size(message: object) -> int:
-    """Best-effort estimate of a message's wire size in bytes.
-
-    Protocol messages expose ``wire_size()``; payload-carrying objects expose
-    ``size_bytes()``.  Anything else is charged a small fixed header, which
-    matches the digest-sized votes most protocols exchange.  The accessor
-    choice is cached per message type so the common path costs one dict hit.
-    """
-    cls = message.__class__
-    kind = _SIZE_KIND_BY_TYPE.get(cls)
-    if kind is None:
-        if callable(getattr(cls, "wire_size", None)):
-            kind = _SIZE_WIRE
-        elif callable(getattr(cls, "size_bytes", None)):
-            kind = _SIZE_BYTES
-        else:
-            kind = _SIZE_DEFAULT
-        _SIZE_KIND_BY_TYPE[cls] = kind
-    if kind == _SIZE_WIRE:
-        return int(message.wire_size())
-    if kind == _SIZE_BYTES:
-        return int(message.size_bytes())
-    return 96
-
 
 @dataclass
 class NetworkStats:

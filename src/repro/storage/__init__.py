@@ -18,12 +18,21 @@ epoch bookkeeping, re-deliver the restored prefix to the application, and
 hand the node back to the harness to fetch anything ordered while it was
 down through the existing state-transfer protocol.
 
-Everything is backed by plain in-memory structures (the simulator has no
-disks), but the write/compact/replay discipline mirrors a real WAL +
+The simulator backs all of this with plain in-memory structures (it has
+no disks), but the write/compact/replay discipline mirrors a real WAL +
 snapshot store, so the recovery path exercises the same protocol logic a
-production deployment would.
+production deployment would.  The live TCP backend uses the file-backed
+subclasses in :mod:`repro.storage.durable` — same record types and
+compaction contract, written to genuine fsync'd files with torn-tail
+detection on reopen — so ``kill -9`` recovery runs over real durability.
 """
 
+from .durable import (
+    DurableNodeStorage,
+    FileSnapshotStore,
+    FileWriteAheadLog,
+    fsync_policy,
+)
 from .node_storage import NodeStorage
 from .recovery import RecoveryInfo, RecoveryManager
 from .snapshot import Snapshot, SnapshotStore
@@ -36,6 +45,10 @@ from .wal import (
 )
 
 __all__ = [
+    "DurableNodeStorage",
+    "FileSnapshotStore",
+    "FileWriteAheadLog",
+    "fsync_policy",
     "NodeStorage",
     "RecoveryInfo",
     "RecoveryManager",

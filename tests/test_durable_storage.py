@@ -1,0 +1,225 @@
+"""Durability tests for the file-backed storage (repro.storage.durable).
+
+These pin the claims the live backend's recovery proof rests on:
+
+* commits are fsync'd before the append returns (``always`` policy),
+* a process reopening the same directory sees exactly what was appended,
+* a torn WAL tail (crash mid-append) is detected and truncated on reopen,
+  with every intact record before it preserved,
+* compaction folds the prefix into an atomically-replaced snapshot file
+  and rewrites the WAL, and a **fresh process** reloads the combined
+  state correctly.
+"""
+
+import pickle
+import subprocess
+import sys
+import zlib
+
+import pytest
+
+from repro.core.types import Batch, CheckpointCertificate, Request, RequestId
+from repro.storage.durable import (
+    FSYNC_ALWAYS,
+    FSYNC_NEVER,
+    SNAPSHOT_FILENAME,
+    WAL_FILENAME,
+    DurableNodeStorage,
+    FileWriteAheadLog,
+    fsync_policy,
+    read_wal_frames,
+)
+
+
+def batch(client: int, timestamp: int) -> Batch:
+    return Batch(
+        requests=(
+            Request(
+                rid=RequestId(client=client, timestamp=timestamp), payload=b"x"
+            ),
+        )
+    )
+
+
+def certificate(epoch: int, last_sn: int) -> CheckpointCertificate:
+    return CheckpointCertificate(
+        epoch=epoch, last_sn=last_sn, log_root=b"root", signatures=()
+    )
+
+
+# ------------------------------------------------------------------ fsync
+def test_fsync_on_every_commit_append(tmp_path):
+    wal = FileWriteAheadLog(tmp_path / WAL_FILENAME, fsync=FSYNC_ALWAYS)
+    for sn in range(5):
+        wal.append_commit(sn, batch(0, sn), epoch=0)
+    assert wal.fsyncs == 5
+    wal.close()
+
+
+def test_fsync_never_policy_skips_fsync(tmp_path):
+    wal = FileWriteAheadLog(tmp_path / WAL_FILENAME, fsync=FSYNC_NEVER)
+    wal.append_commit(0, batch(0, 0), epoch=0)
+    assert wal.fsyncs == 0
+    wal.close()
+    # The bytes are still flushed: a clean close loses nothing.
+    records, _offset, torn = read_wal_frames(tmp_path / WAL_FILENAME)
+    assert len(records) == 1 and not torn
+
+
+def test_fsync_policy_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FSYNC", raising=False)
+    assert fsync_policy() == FSYNC_ALWAYS
+    monkeypatch.setenv("REPRO_FSYNC", "never")
+    assert fsync_policy() == FSYNC_NEVER
+    # Misconfiguration degrades to the safe policy, never silently off.
+    monkeypatch.setenv("REPRO_FSYNC", "sometimes")
+    assert fsync_policy() == FSYNC_ALWAYS
+
+
+# ----------------------------------------------------------------- reopen
+def test_wal_reopen_round_trip(tmp_path):
+    path = tmp_path / WAL_FILENAME
+    wal = FileWriteAheadLog(path)
+    for sn in range(4):
+        wal.append_commit(sn, batch(1, sn), epoch=0)
+    wal.append_epoch_start(1)
+    wal.append_checkpoint(certificate(0, 3))
+    wal.close()
+
+    reopened = FileWriteAheadLog(path)
+    assert not reopened.torn_tail_detected
+    assert [sn for sn, _entry, _epoch in reopened.commits()] == [0, 1, 2, 3]
+    assert len(reopened.checkpoints()) == 1
+    # Appends after reopen extend the same file.
+    reopened.append_commit(4, batch(1, 4), epoch=1)
+    reopened.close()
+    third = FileWriteAheadLog(path)
+    assert [sn for sn, _entry, _epoch in third.commits()] == [0, 1, 2, 3, 4]
+    third.close()
+
+
+@pytest.mark.parametrize("chop", [1, 3, 7])
+def test_torn_tail_truncated_on_reopen(tmp_path, chop):
+    path = tmp_path / WAL_FILENAME
+    wal = FileWriteAheadLog(path)
+    for sn in range(6):
+        wal.append_commit(sn, batch(2, sn), epoch=0)
+    wal.close()
+
+    # Simulate a crash mid-append: chop bytes off the last frame.
+    data = path.read_bytes()
+    path.write_bytes(data[:-chop])
+
+    reopened = FileWriteAheadLog(path)
+    assert reopened.torn_tail_detected
+    assert [sn for sn, _entry, _epoch in reopened.commits()] == [0, 1, 2, 3, 4]
+    reopened.close()
+    # The truncation is durable: a further reopen sees a clean file.
+    third = FileWriteAheadLog(path)
+    assert not third.torn_tail_detected
+    assert len(third.commits()) == 5
+    third.close()
+
+
+def test_corrupted_payload_detected_by_crc(tmp_path):
+    path = tmp_path / WAL_FILENAME
+    wal = FileWriteAheadLog(path)
+    wal.append_commit(0, batch(3, 0), epoch=0)
+    wal.append_commit(1, batch(3, 1), epoch=0)
+    wal.close()
+
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF  # flip a byte inside the last frame's payload
+    path.write_bytes(bytes(data))
+
+    records, _offset, torn = read_wal_frames(path)
+    assert torn and len(records) == 1
+
+
+def test_unpicklable_tail_is_torn(tmp_path):
+    path = tmp_path / WAL_FILENAME
+    wal = FileWriteAheadLog(path)
+    wal.append_commit(0, batch(4, 0), epoch=0)
+    wal.close()
+    # A frame whose CRC is fine but whose payload is not a WalRecord pickle.
+    payload = b"not a pickle"
+    frame = (
+        len(payload).to_bytes(4, "big")
+        + zlib.crc32(payload).to_bytes(4, "big")
+        + payload
+    )
+    with open(path, "ab") as fh:
+        fh.write(frame)
+    records, _offset, torn = read_wal_frames(path)
+    assert torn and len(records) == 1
+
+
+# ------------------------------------------------------- compaction + reload
+def _fill_storage(storage: DurableNodeStorage) -> None:
+    for sn in range(8):
+        storage.record_commit(sn, batch(5, sn), epoch=0)
+    storage.record_stable_checkpoint(certificate(0, 5))
+    for sn in range(8, 10):
+        storage.record_commit(sn, batch(5, sn), epoch=1)
+
+
+def test_compaction_snapshot_plus_wal_reload(tmp_path):
+    storage = DurableNodeStorage(0, tmp_path / "node0")
+    _fill_storage(storage)
+    assert storage.compactions == 1
+    assert storage.latest_snapshot().last_sn == 5
+    assert storage.durable_entry_count() == 10
+    storage.close()
+
+    reloaded = DurableNodeStorage(0, tmp_path / "node0")
+    assert reloaded.has_state()
+    assert reloaded.latest_snapshot().last_sn == 5
+    assert reloaded.durable_entry_count() == 10
+    # The WAL holds exactly the post-compaction tail.
+    assert [sn for sn, _e, _ep in reloaded.wal.commits()] == [6, 7, 8, 9]
+    reloaded.close()
+
+
+def test_half_written_snapshot_degrades_to_wal_only(tmp_path):
+    directory = tmp_path / "node0"
+    storage = DurableNodeStorage(0, directory)
+    for sn in range(3):
+        storage.record_commit(sn, batch(6, sn), epoch=0)
+    storage.close()
+    # A garbage snapshot file (crash before atomic replace existed) must
+    # not poison recovery: it reads as "no snapshot".
+    (directory / SNAPSHOT_FILENAME).write_bytes(b"\x80garbage")
+    reloaded = DurableNodeStorage(0, directory)
+    assert reloaded.latest_snapshot() is None
+    assert reloaded.durable_entry_count() == 3
+    reloaded.close()
+
+
+def test_fresh_process_reloads_snapshot_and_wal(tmp_path):
+    storage = DurableNodeStorage(0, tmp_path / "node0")
+    _fill_storage(storage)
+    expected = storage.durable_entry_count()
+    storage.close()
+
+    script = (
+        "from repro.storage.durable import DurableNodeStorage\n"
+        f"s = DurableNodeStorage(0, {str(tmp_path / 'node0')!r})\n"
+        "print(s.has_state(), s.durable_entry_count(), "
+        "s.latest_snapshot().last_sn)\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True, check=True
+    )
+    assert result.stdout.split() == ["True", str(expected), "5"]
+
+
+def test_pickled_frames_round_trip_exact_records(tmp_path):
+    path = tmp_path / WAL_FILENAME
+    wal = FileWriteAheadLog(path)
+    entry = batch(7, 0)
+    wal.append_commit(0, entry, epoch=2)
+    wal.close()
+    records, _offset, _torn = read_wal_frames(path)
+    assert records[0].sn == 0
+    assert records[0].epoch == 2
+    assert pickle.dumps(records[0].entry) == pickle.dumps(entry)
